@@ -1,0 +1,101 @@
+"""Ablations over the reproduction's own design choices.
+
+- MaxIS: bitmask branch-and-bound (clique-cover bound) vs the sparse
+  branch-and-reduce with degree-2 folding — the folding solver is what
+  makes the Section 3 graphs (hundreds of vertices, Δ ≤ 5) verifiable.
+- Max-cut: Gray-code walk vs the vectorized numpy sweep (the latter is
+  what keeps the k = 2 Figure 3 predicate usable inside iff-sweeps).
+- Theorem 2.9: approximation quality as a function of the sampling
+  probability p — the ε/rounds trade-off of Lemma 2.5.
+"""
+
+import random
+import time
+
+from repro.graphs import random_graph
+from repro.congest.algorithms import run_maxcut_sampling
+from repro.solvers import cut_weight, independence_number, max_cut_value
+from repro.solvers.maxcut import max_cut_vectorized
+from repro.solvers.mis import max_independent_set
+
+
+def connected_random_graph(n, p, rng):
+    g = random_graph(n, p, rng)
+    while not g.is_connected():
+        g = random_graph(n, p, rng)
+    return g
+
+
+def test_mis_solver_ablation(benchmark):
+    """Dense graphs favour the bitmask B&B; sparse bounded-degree graphs
+    favour folding (orders of magnitude on the Section 3 shapes)."""
+    rng = random.Random(21)
+    dense = random_graph(16, 0.5, rng)
+    sparse = random_graph(120, 3.0 / 119, rng)
+
+    def run():
+        timings = {}
+        t0 = time.perf_counter()
+        a1 = len(max_independent_set(dense))
+        timings["bitmask@dense(n=16)"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        a2 = independence_number(dense)
+        timings["folding@dense(n=16)"] = time.perf_counter() - t0
+        assert a1 == a2
+        t0 = time.perf_counter()
+        a3 = independence_number(sparse)
+        timings["folding@sparse(n=120)"] = time.perf_counter() - t0
+        return timings, a3
+
+    timings, __ = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, secs in timings.items():
+        print(f"  {name:<24} {secs * 1000:8.1f} ms")
+
+
+def test_maxcut_solver_ablation(benchmark):
+    rng = random.Random(22)
+    g = random_graph(20, 0.4, rng)
+    for u, v in g.edges():
+        g.set_edge_weight(u, v, rng.randint(1, 9))
+
+    def run():
+        from repro.solvers.maxcut import max_cut
+
+        t0 = time.perf_counter()
+        v1, __ = max_cut_vectorized(g)
+        vec = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        v2, __ = max_cut(g, limit=16) if g.n <= 16 else (v1, None)
+        gray = time.perf_counter() - t0
+        assert v1 == max_cut_value(g)
+        return {"vectorized(n=20)": vec, "gray-code(skipped n>16)": gray}
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, secs in timings.items():
+        print(f"  {name:<26} {secs * 1000:8.1f} ms")
+
+
+def test_sampling_probability_ablation(benchmark):
+    """Theorem 2.9's trade-off: lower p ⇒ fewer uploaded edges (fewer
+    rounds) but a weaker cut."""
+    rng = random.Random(23)
+    g = connected_random_graph(16, 0.5, rng)
+    exact = max_cut_value(g)
+
+    def run():
+        rows = []
+        for p in (0.3, 0.5, 0.75, 1.0):
+            res = run_maxcut_sampling(g, p=p, seed=11)
+            achieved = cut_weight(g, [v for v, s in res.sides.items() if s])
+            rows.append((p, res.sampled_edges, res.rounds,
+                         achieved / exact))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"  {'p':>5} {'edges':>6} {'rounds':>7} {'ratio':>6}")
+    for p, edges, rounds, ratio in rows:
+        print(f"  {p:>5.2f} {edges:>6} {rounds:>7} {ratio:>6.2f}")
+    assert rows[-1][3] == 1.0  # p = 1 is exact

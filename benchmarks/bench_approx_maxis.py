@@ -1,0 +1,27 @@
+"""E-F5-T4.3/T4.1 and E-T4.2: MaxIS approximation hardness."""
+
+import random
+
+from repro.cc.functions import random_input_pairs
+from repro.core.approx_maxis import WeightedApproxMaxISFamily
+from repro.core.family import verify_iff
+from repro.experiments.runner import run_experiment
+
+
+def test_approx_maxis_experiment(once):
+    once(run_experiment, "E-F5-T4.3-T4.1-approx-maxis", quick=False)
+
+
+def test_linear_maxis_experiment(once):
+    once(run_experiment, "E-T4.2-linear-maxis", quick=False)
+
+
+def test_gap_at_k8(benchmark):
+    """The 7/8 gap at k = 8 (n = 904) via the structured solver."""
+    fam = WeightedApproxMaxISFamily(8)
+    rng = random.Random(3)
+    pairs = random_input_pairs(fam.k_bits, 2, rng)
+
+    report = benchmark.pedantic(
+        lambda: verify_iff(fam, pairs, negate=True), rounds=1, iterations=1)
+    print(f"\n  k=8: n={fam.n_vertices()}, ratio={fam.gap_ratio():.4f}")

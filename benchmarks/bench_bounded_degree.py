@@ -1,0 +1,12 @@
+"""E-F4-T3.1 / E-T3.3-T3.4: the Section 3 bounded-degree chain."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bounded_degree_experiment(once):
+    once(run_experiment, "E-F4-T3.1-bounded-degree-maxis", quick=True)
+
+
+def test_bounded_degree_reductions(once):
+    once(run_experiment, "E-T3.3-T3.4-bounded-degree-reductions",
+         quick=False)

@@ -1,0 +1,16 @@
+"""E-T2.9: the (1−ε)-approximate max-cut CONGEST algorithm, plus the
+universal O(m + D) upper bound on a family instance."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_congest_maxcut_experiment(once):
+    once(run_experiment, "E-T2.9-congest-maxcut", quick=False)
+
+
+def test_universal_upper_bound(once):
+    once(run_experiment, "E-universal-upper-bound", quick=False)
+
+
+def test_congest_local_separation(once):
+    once(run_experiment, "E-congest-local-separation", quick=False)

@@ -1,0 +1,32 @@
+"""E-F2-T2.2 / E-T2.3-T2.4: Hamiltonian path and cycle families."""
+
+from itertools import product
+
+from repro.core.family import verify_iff
+from repro.core.hamiltonian import HamiltonianPathFamily
+from repro.experiments.runner import run_experiment
+
+
+def test_hamiltonian_experiment(once):
+    """Exhaustive 256-pair sweep at k = 2 (quick=False)."""
+    once(run_experiment, "E-F2-T2.2-hamiltonian-path", quick=False)
+
+
+def test_hamiltonian_variants_experiment(once):
+    once(run_experiment, "E-T2.3-T2.4-hamiltonian-variants", quick=False)
+
+
+def test_witness_path_k8(benchmark):
+    """Constructive Claim 2.1 witness at k = 8 (n = 390)."""
+    fam = HamiltonianPathFamily(8)
+    x = [0] * 64
+    y = [0] * 64
+    x[9] = y[9] = 1
+
+    path = benchmark.pedantic(lambda: fam.witness_path(tuple(x), tuple(y)),
+                              rounds=1, iterations=1)
+    assert len(path) == fam.n_vertices()
+
+
+def test_split_simulation_experiment(once):
+    once(run_experiment, "E-L2.2-split-simulation", quick=False)

@@ -1,0 +1,7 @@
+"""E-F6-T4.4/T4.5: k-MDS approximation hardness."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_kmds_experiment(once):
+    once(run_experiment, "E-F6-T4.4-T4.5-kmds", quick=False)

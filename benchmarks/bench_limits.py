@@ -1,0 +1,7 @@
+"""E-C5.4-C5.9: limitation protocols on family instances."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_protocol_limits_experiment(once):
+    once(run_experiment, "E-C5.4-C5.9-protocol-limits", quick=False)

@@ -1,0 +1,11 @@
+"""E-F3-T2.8: the weighted max-cut family (Lemma 2.4)."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_maxcut_experiment(once):
+    once(run_experiment, "E-F3-T2.8-maxcut", quick=False)
+
+
+def test_base_mvc_experiment(once):
+    once(run_experiment, "E-base-mvc", quick=False)

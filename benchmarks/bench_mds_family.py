@@ -1,0 +1,36 @@
+"""E-F1-T2.1: the Figure 1 MDS family (Theorem 2.1)."""
+
+import random
+
+from repro.cc.functions import random_input_pairs
+from repro.core.family import verify_iff
+from repro.core.mds import MdsFamily
+from repro.experiments.runner import run_experiment
+
+
+def test_mds_experiment(once):
+    once(run_experiment, "E-F1-T2.1-mds", quick=False)
+
+
+def test_mds_lemma21_k8(benchmark):
+    """The larger k = 8 instance: one full iff check per direction."""
+    fam = MdsFamily(8)
+    rng = random.Random(1)
+    pairs = random_input_pairs(fam.k_bits, 2, rng)
+
+    report = benchmark.pedantic(
+        lambda: verify_iff(fam, pairs, negate=True), rounds=1, iterations=1)
+    assert report.checked == 2
+
+
+def test_mds_scaling(benchmark):
+    """Pure construction cost and bound growth up to k = 32 (n = 176)."""
+
+    def build_all():
+        return [MdsFamily(k).describe() for k in (4, 8, 16, 32)]
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  k-sweep: n={row['n']:5d} ecut={row['ecut']:3d} "
+              f"implied_bound={row['implied_bound']:.3f}")

@@ -1,0 +1,7 @@
+"""E-C5.10-C5.11: nondeterministic protocols and Γ(f)."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_nondeterminism_experiment(once):
+    once(run_experiment, "E-C5.10-C5.11-nondeterminism", quick=False)

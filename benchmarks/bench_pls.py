@@ -1,0 +1,52 @@
+"""E-T5.1 + Lemma 5.1 + Claims 5.12-5.13: the PLS library."""
+
+import random
+
+import networkx as nx
+
+from repro.experiments.runner import run_experiment
+from repro.graphs import random_graph
+from repro.pls import (
+    AcyclicityPls,
+    BipartitePls,
+    ConnectivityPls,
+    MatchingAtLeastPls,
+    MatchingLessThanPls,
+    SpanningTreePls,
+    check_completeness,
+)
+from repro.pls.scheme import PlsInstance, edge_key
+from repro.solvers import max_matching_size
+
+
+def test_pls_compiler_experiment(once):
+    once(run_experiment, "E-T5.1-pls-compiler", quick=False)
+
+
+def test_pls_label_sizes(benchmark):
+    """Proof sizes of the Lemma 5.1 / Claim 5.12 schemes at n = 20."""
+    rng = random.Random(9)
+    g = random_graph(20, 0.3, rng)
+    while not g.is_connected():
+        g = random_graph(20, 0.3, rng)
+    root = sorted(g.vertices(), key=repr)[0]
+    tree = list(nx.bfs_tree(g.to_networkx(), root).edges())
+    tree_inst = PlsInstance(graph=g, subgraph=frozenset(
+        edge_key(u, v) for u, v in tree))
+    nu = max_matching_size(g)
+
+    def run():
+        return {
+            "spanning-tree": check_completeness(SpanningTreePls(), tree_inst),
+            "acyclicity": check_completeness(AcyclicityPls(), tree_inst),
+            "connectivity": check_completeness(ConnectivityPls(), tree_inst),
+            "matching>=k": check_completeness(
+                MatchingAtLeastPls(), PlsInstance(graph=g, k=nu)),
+            "matching<k": check_completeness(
+                MatchingLessThanPls(), PlsInstance(graph=g, k=nu + 1)),
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, bits in sizes.items():
+        print(f"  pls-size[{name}] = {bits} bits (n = {g.n})")

@@ -1,0 +1,7 @@
+"""E-T4.8: restricted (local-aggregate) MDS hardness."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_restricted_mds_experiment(once):
+    once(run_experiment, "E-T4.8-restricted-mds", quick=False)

@@ -1,0 +1,47 @@
+"""Solver scaling benchmarks (the verification substrate itself)."""
+
+import random
+
+from repro.graphs import random_graph
+from repro.solvers import (
+    independence_number,
+    max_cut_value,
+    max_independent_set,
+    min_dominating_set,
+)
+
+
+def test_mis_branch_and_bound(benchmark):
+    rng = random.Random(11)
+    graphs = [random_graph(18, 0.4, rng) for __ in range(3)]
+    result = benchmark.pedantic(
+        lambda: [len(max_independent_set(g)) for g in graphs],
+        rounds=1, iterations=1)
+    assert all(isinstance(a, int) for a in result)
+
+
+def test_independence_number_sparse(benchmark):
+    """Branch-and-reduce on a 300-vertex bounded-degree graph (the
+    Section 3 workload shape)."""
+    rng = random.Random(12)
+    g = random_graph(300, 2.0 / 299, rng)  # avg degree ~2
+    alpha = benchmark.pedantic(lambda: independence_number(g),
+                               rounds=1, iterations=1)
+    assert alpha > 0
+
+
+def test_mds_branch_and_bound(benchmark):
+    rng = random.Random(13)
+    graphs = [random_graph(16, 0.3, rng) for __ in range(3)]
+    result = benchmark.pedantic(
+        lambda: [len(min_dominating_set(g)) for g in graphs],
+        rounds=1, iterations=1)
+    assert all(r >= 1 for r in result)
+
+
+def test_maxcut_vectorized(benchmark):
+    rng = random.Random(14)
+    g = random_graph(20, 0.4, rng)
+    value = benchmark.pedantic(lambda: max_cut_value(g),
+                               rounds=1, iterations=1)
+    assert value >= g.m / 2

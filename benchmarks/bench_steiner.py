@@ -1,0 +1,22 @@
+"""E-T2.7: the Steiner tree family (Claim 2.8)."""
+
+import random
+
+from repro.cc.functions import random_input_pairs
+from repro.core.family import verify_iff
+from repro.core.steiner import SteinerTreeFamily
+from repro.experiments.runner import run_experiment
+
+
+def test_steiner_experiment(once):
+    once(run_experiment, "E-T2.7-steiner", quick=False)
+
+
+def test_steiner_k8(benchmark):
+    fam = SteinerTreeFamily(8)
+    rng = random.Random(2)
+    pairs = random_input_pairs(fam.k_bits, 2, rng)
+
+    report = benchmark.pedantic(
+        lambda: verify_iff(fam, pairs, negate=True), rounds=1, iterations=1)
+    assert report.checked == 2

@@ -1,0 +1,7 @@
+"""E-F7-T4.6/T4.7: Steiner tree approximation hardness."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_steiner_approx_experiment(once):
+    once(run_experiment, "E-F7-T4.6-T4.7-steiner-approx", quick=False)

@@ -1,0 +1,30 @@
+"""E-T1.1: the Alice-Bob simulation mechanics."""
+
+from repro.cc.alice_bob import simulate_two_party
+from repro.congest.algorithms.basic import BfsFromRoot
+from repro.core.mds import MdsFamily
+from repro.experiments.runner import run_experiment
+
+
+def test_theorem11_experiment(once):
+    once(run_experiment, "E-T1.1-simulation", quick=False)
+
+
+def test_simulation_of_bfs(benchmark):
+    """Simulate BFS across the cut of the k = 8 MDS family."""
+    fam = MdsFamily(8)
+    g = fam.build(fam.zero_input(), fam.zero_input())
+    root_label = sorted(g.vertices(), key=repr)[0]
+
+    def run():
+        from repro.congest.model import CongestSimulator
+
+        sim_probe = CongestSimulator(g)
+        root_uid = sim_probe.uid_of[root_label]
+        return simulate_two_party(
+            g, fam.alice_vertices(), BfsFromRoot,
+            inputs={v: root_uid for v in g.vertices()})
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sim.within_budget
+    print(f"\n  cut bits={sim.cut_bits}, budget={sim.bits_budget}")

@@ -1,0 +1,7 @@
+"""E-T2.5: minimum 2-edge-connected spanning subgraph (Claim 2.7)."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_two_ecss_experiment(once):
+    once(run_experiment, "E-T2.5-two-ecss", quick=False)

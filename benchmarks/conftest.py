@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Every benchmark wraps one experiment runner from
+``repro.experiments`` — the same code that generates EXPERIMENTS.md —
+so the timing numbers measure the full build-and-verify pipeline of a
+paper result.  Heavy experiments run once (`pedantic`, 1 round).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark `fn` with a single round (the experiments are heavy and
+    deterministic; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        record = run_once(benchmark, fn, *args, **kwargs)
+        if hasattr(record, "passed"):
+            assert record.passed, record
+            print()
+            print(record.as_row())
+        return record
+    return runner

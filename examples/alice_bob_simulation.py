@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Theorem 1.1 in action: co-simulating CONGEST algorithms across a cut.
+
+Alice simulates G[VA], Bob simulates G[VB]; only messages crossing the
+fixed cut are communication.  We run a real algorithm (leader election)
+over several of the paper's families and check the paper's accounting:
+
+    bits exchanged  ≤  2 · rounds · |Ecut| · bandwidth,
+
+then tabulate the round lower bound CC(DISJ)/(|Ecut|·log n) that each
+family implies.
+
+Run:  python examples/alice_bob_simulation.py
+"""
+
+import random
+
+from repro import (
+    HamiltonianPathFamily,
+    MaxCutFamily,
+    MdsFamily,
+    MvcMaxISFamily,
+    SteinerTreeFamily,
+    theorem_1_1_bound,
+)
+from repro.cc.alice_bob import simulate_two_party
+from repro.cc.functions import random_input_pairs
+from repro.congest.algorithms.basic import FloodMinId
+
+
+def main() -> None:
+    rng = random.Random(1905)
+    families = [
+        ("MDS (Fig 1, Thm 2.1)", MdsFamily(4)),
+        ("Ham. path (Fig 2, Thm 2.2)", HamiltonianPathFamily(2)),
+        ("Steiner tree (Thm 2.7)", SteinerTreeFamily(4)),
+        ("max-cut (Fig 3, Thm 2.8)", MaxCutFamily(2)),
+        ("MVC/MaxIS base ([10])", MvcMaxISFamily(4)),
+    ]
+    print(f"{'family':<28} {'n':>4} {'|Ecut|':>7} {'rounds':>7} "
+          f"{'cut bits':>9} {'budget':>9} {'bound':>7}")
+    for name, fam in families:
+        x, y = random_input_pairs(fam.k_bits, 2, rng)[0]
+        g = fam.build(x, y)
+        sim = simulate_two_party(g, fam.alice_vertices(), FloodMinId)
+        assert sim.within_budget
+        print(f"{name:<28} {g.n:>4} {sim.ecut_size:>7} {sim.rounds:>7} "
+              f"{sim.cut_bits:>9} {sim.bits_budget:>9} "
+              f"{theorem_1_1_bound(fam):>7.2f}")
+    print("\nEvery run stayed within the 2·T·|Ecut|·B budget — the exact "
+          "inequality Theorem 1.1's reduction charges.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A tour of Section 4: hardness-of-approximation gaps, measured.
+
+- the Reed-Solomon code gadget (Theorem 4.3): max-weight IS is
+  8ℓ + 4t on intersecting inputs and 7ℓ + 4t on disjoint ones — a
+  7/8 + ε gap that a fast algorithm would have to cross;
+- the covering-design 2-MDS construction (Theorem 4.4): weight 2 vs
+  > r = c·log ℓ — an Ω(log n) gap;
+- the restricted-MDS construction (Theorem 4.8) running a *real* local
+  aggregate algorithm (greedy span/weight MDS) under the shared-vertex
+  two-party simulation, with its bit cost.
+
+Run:  python examples/approximation_gaps.py
+"""
+
+import random
+
+from repro import KMdsFamily, RestrictedMdsConstruction, WeightedApproxMaxISFamily
+from repro.cc.functions import random_disjoint_pair, random_intersecting_pair
+from repro.covering import build_covering_collection
+from repro.solvers import is_dominating_set
+
+
+def code_gadget_demo(rng: random.Random) -> None:
+    print("== Theorem 4.3: the (7/8 + ε) MaxIS gap ==")
+    print(f"  {'k':>3} {'n':>5} {'l':>4} {'t':>2} {'q':>3} "
+          f"{'yes':>5} {'no':>5} {'ratio':>7}")
+    for k in (2, 4, 8):
+        fam = WeightedApproxMaxISFamily(k)
+        x, y = random_intersecting_pair(fam.k_bits, rng)
+        yes = fam.structured_max_weight(fam.build(x, y))
+        x, y = random_disjoint_pair(fam.k_bits, rng)
+        no = fam.structured_max_weight(fam.build(x, y))
+        assert (yes, no) == (fam.alpha_yes, fam.alpha_no)
+        print(f"  {k:>3} {fam.n_vertices():>5} {fam.ell:>4} {fam.t:>2} "
+              f"{fam.q:>3} {yes:>5} {no:>5} {no / yes:>7.4f}")
+    print("  ratio → 7/8 = 0.875: any better approximation distinguishes "
+          "DISJ instances.")
+
+
+def kmds_demo(rng: random.Random) -> None:
+    print("\n== Theorem 4.4: the Ω(log n) 2-MDS gap ==")
+    cc = build_covering_collection(universe_size=16, T=6, r=2, seed=0)
+    fam = KMdsFamily(cc, k=2)
+    x, y = random_intersecting_pair(cc.T, rng)
+    yes = fam.optimum(fam.build(x, y))
+    x, y = random_disjoint_pair(cc.T, rng)
+    no = fam.optimum(fam.build(x, y))
+    print(f"  covering design: T={cc.T}, ℓ={cc.universe_size}, r={cc.r} "
+          "(verified r-covering property)")
+    print(f"  optimum on intersecting inputs: {yes}")
+    print(f"  optimum on disjoint inputs:     {no}  (> r = {cc.r})")
+    print(f"  any ({cc.r}/2)-approximation separates the two.")
+
+
+def restricted_demo(rng: random.Random) -> None:
+    print("\n== Theorem 4.8: local-aggregate MDS under shared simulation ==")
+    cc = build_covering_collection(universe_size=16, T=6, r=2, seed=0)
+    rm = RestrictedMdsConstruction(cc)
+    x, y = random_intersecting_pair(cc.T, rng)
+    run = rm.simulate_greedy_two_party(x, y)
+    g = rm.build(x, y)
+    ds = [v for v, b in run.outputs.items() if b]
+    weight = sum(g.vertex_weight(v) for v in ds)
+    print(f"  greedy (a genuine Definition 4.1 algorithm): "
+          f"{run.rounds} rounds")
+    print(f"  produced a dominating set: {is_dominating_set(g, ds)}, "
+          f"weight {weight} (optimum {rm.optimum(g)})")
+    print(f"  two-party cost: {run.shared_bits} shared-aggregate bits + "
+          f"{run.direct_cut_bits} direct cut bits")
+    print(f"  per round: {run.total_two_party_bits / run.rounds:.0f} bits "
+          f"= O(ℓ·log n), exactly the Theorem 4.8 accounting")
+
+
+if __name__ == "__main__":
+    rng = random.Random(48)
+    code_gadget_demo(rng)
+    kmds_demo(rng)
+    restricted_demo(rng)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: build a lower-bound family, machine-check its lemma, and
+evaluate the Theorem 1.1 round bound.
+
+This walks the exact pipeline of the paper's Section 2 for the Figure 1
+minimum dominating set family (Theorem 2.1):
+
+1. construct G_{x,y} for concrete inputs,
+2. validate the Definition 1.1 requirements,
+3. verify Lemma 2.1 (a dominating set of size 4·log k + 2 exists iff
+   DISJ(x, y) = FALSE) with an exact solver,
+4. exhibit the explicit witness dominating set, and
+5. evaluate the Ω(n²/log²n) bound the family implies.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import MdsFamily, theorem_1_1_bound, validate_family, verify_iff
+from repro.cc.functions import (
+    disjointness,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.solvers import is_dominating_set, min_dominating_set
+
+
+def main() -> None:
+    rng = random.Random(2019)
+    fam = MdsFamily(k=4)
+
+    print("== Figure 1 family (Theorem 2.1) ==")
+    for key, value in fam.describe().items():
+        print(f"  {key:>14}: {value}")
+
+    print("\n-- Definition 1.1 structural validation --")
+    validate_family(fam)
+    print("  vertex set fixed, G[VA] ~ x only, G[VB] ~ y only, cut fixed: OK")
+
+    print("\n-- Lemma 2.1: dominating set of size",
+          fam.target_size, "iff inputs intersect --")
+    pairs = random_input_pairs(fam.k_bits, 6, rng)
+    report = verify_iff(fam, pairs, negate=True)
+    print(f"  {report}")
+
+    x, y = random_intersecting_pair(fam.k_bits, rng)
+    witness = fam.witness_dominating_set(x, y)
+    graph = fam.build(x, y)
+    print(f"\n-- witness for an intersecting pair --")
+    print(f"  witness size: {len(witness)} (target {fam.target_size})")
+    print(f"  dominates: {is_dominating_set(graph, witness)}")
+    optimum = min_dominating_set(graph)
+    print(f"  exact optimum: {len(optimum)}")
+
+    print("\n-- Theorem 1.1 bound growth --")
+    for k in (4, 8, 16, 32):
+        f = MdsFamily(k)
+        print(f"  k={k:3d}: n={f.n_vertices():4d}  |Ecut|={len(f.cut_edges()):3d}"
+              f"  CC(DISJ)/(|Ecut|·log n) = {theorem_1_1_bound(f):8.3f}")
+    print("\nThe bound grows ~quadratically in n/log n — the Ω̃(n²) of"
+          " Theorem 2.1.")
+
+
+if __name__ == "__main__":
+    main()

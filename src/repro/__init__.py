@@ -1,0 +1,86 @@
+"""repro — a working reproduction of *Hardness of Distributed
+Optimization* (Bachrach, Censor-Hillel, Dory, Efron, Leitersdorf, Paz;
+PODC 2019, arXiv:1905.10284).
+
+The package builds every lower-bound graph family in the paper as an
+executable construction, verifies the carrying lemmas with exact
+solvers, simulates the CONGEST model and the Theorem 1.1 Alice–Bob
+argument with exact bit accounting, and implements the Section 5
+limitation protocols and proof labeling schemes.
+
+Quick start::
+
+    from repro import MdsFamily, verify_iff, theorem_1_1_bound
+    from repro.cc import random_input_pairs
+    import random
+
+    fam = MdsFamily(k=4)                    # the Figure 1 family
+    pairs = random_input_pairs(fam.k_bits, 6, random.Random(0))
+    verify_iff(fam, pairs, negate=True)     # Lemma 2.1, machine-checked
+    print(theorem_1_1_bound(fam))           # the Ω(n²/log²n) formula
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-theorem reproduction record.
+"""
+
+from repro.graphs import DiGraph, Graph
+from repro.core.family import (
+    LowerBoundGraphFamily,
+    FamilyValidationError,
+    validate_family,
+    verify_iff,
+    theorem_1_1_bound,
+)
+from repro.core.mds import MdsFamily
+from repro.core.hamiltonian import HamiltonianCycleFamily, HamiltonianPathFamily
+from repro.core.steiner import SteinerTreeFamily
+from repro.core.maxcut import MaxCutFamily
+from repro.core.mvc import MvcMaxISFamily
+from repro.core.bounded_degree import BoundedDegreeMaxIS
+from repro.core.approx_maxis import (
+    LinearApproxMaxISFamily,
+    UnweightedApproxMaxISFamily,
+    WeightedApproxMaxISFamily,
+)
+from repro.core.kmds import KMdsFamily
+from repro.core.steiner_approx import (
+    DirectedSteinerFamily,
+    NodeWeightedSteinerFamily,
+)
+from repro.core.restricted_mds import RestrictedMdsConstruction
+from repro.core.reductions import (
+    ReducedFamily,
+    two_ecss_family,
+    undirected_hc_family,
+    undirected_hp_family,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "LowerBoundGraphFamily",
+    "FamilyValidationError",
+    "validate_family",
+    "verify_iff",
+    "theorem_1_1_bound",
+    "MdsFamily",
+    "HamiltonianPathFamily",
+    "HamiltonianCycleFamily",
+    "SteinerTreeFamily",
+    "MaxCutFamily",
+    "MvcMaxISFamily",
+    "BoundedDegreeMaxIS",
+    "WeightedApproxMaxISFamily",
+    "UnweightedApproxMaxISFamily",
+    "LinearApproxMaxISFamily",
+    "KMdsFamily",
+    "NodeWeightedSteinerFamily",
+    "DirectedSteinerFamily",
+    "RestrictedMdsConstruction",
+    "ReducedFamily",
+    "undirected_hc_family",
+    "undirected_hp_family",
+    "two_ecss_family",
+]

@@ -1,0 +1,17 @@
+"""Sequential approximation algorithms (baselines and upper bounds)."""
+
+from repro.approx.algorithms import (
+    greedy_mds,
+    matching_vertex_cover,
+    greedy_maxis,
+    local_search_maxcut,
+    random_maxcut,
+)
+
+__all__ = [
+    "greedy_mds",
+    "matching_vertex_cover",
+    "greedy_maxis",
+    "local_search_maxcut",
+    "random_maxcut",
+]

@@ -1,0 +1,84 @@
+"""Classic approximation algorithms used as baselines.
+
+These are the sequential counterparts of the distributed upper bounds the
+paper cites: greedy ln(Δ)+1 dominating set [49, 26, 33, 34], the
+matching-based 2-approximate vertex cover, greedy (Δ+1)-approximate
+MaxIS [7], and the 1/2-approximate max-cut local search / random
+assignment [11, 28].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs import Graph, Vertex
+
+
+def greedy_mds(graph: Graph) -> List[Vertex]:
+    """Greedy set-cover MDS: ln(Δ+1)+1 approximation."""
+    undominated: Set[Vertex] = set(graph.vertices())
+    solution: List[Vertex] = []
+    while undominated:
+        best = max(graph.vertices(),
+                   key=lambda v: (len(graph.closed_neighborhood(v)
+                                      & undominated), repr(v)))
+        gain = graph.closed_neighborhood(best) & undominated
+        if not gain:
+            raise RuntimeError("no progress; disconnected bookkeeping bug")
+        solution.append(best)
+        undominated -= gain
+    return solution
+
+
+def matching_vertex_cover(graph: Graph) -> List[Vertex]:
+    """Both endpoints of a maximal matching: 2-approximate MVC."""
+    cover: List[Vertex] = []
+    used: Set[Vertex] = set()
+    for u, v in sorted(graph.edges(), key=repr):
+        if u not in used and v not in used:
+            used.update((u, v))
+            cover.extend((u, v))
+    return cover
+
+
+def greedy_maxis(graph: Graph) -> List[Vertex]:
+    """Min-degree greedy independent set ((Δ+1)-approximate, and
+    (Δ+2)/3 on bounded-degree graphs)."""
+    remaining = graph.copy()
+    solution: List[Vertex] = []
+    while remaining.n:
+        v = min(remaining.vertices(), key=lambda u: (remaining.degree(u),
+                                                     repr(u)))
+        solution.append(v)
+        for w in list(remaining.closed_neighborhood(v)):
+            remaining.remove_vertex(w)
+    return solution
+
+
+def random_maxcut(graph: Graph, rng: random.Random) -> List[Vertex]:
+    """Uniform random side assignment: 1/2-approximate in expectation."""
+    return [v for v in graph.vertices() if rng.random() < 0.5]
+
+
+def local_search_maxcut(graph: Graph,
+                        start: Optional[Sequence[Vertex]] = None,
+                        ) -> List[Vertex]:
+    """Flip-improving local search: a (deterministic) 1/2-approximation."""
+    side: Set[Vertex] = set(start or [])
+    improved = True
+    while improved:
+        improved = False
+        for v in graph.vertices():
+            in_side = v in side
+            cross = sum(graph.edge_weight(v, w) for w in graph.neighbors(v)
+                        if (w in side) != in_side)
+            stay = sum(graph.edge_weight(v, w) for w in graph.neighbors(v)
+                       if (w in side) == in_side)
+            if stay > cross:
+                if in_side:
+                    side.discard(v)
+                else:
+                    side.add(v)
+                improved = True
+    return list(side)

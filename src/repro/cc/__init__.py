@@ -1,0 +1,56 @@
+"""Two-party communication complexity (Section 1.3) and the Theorem 1.1
+Alice–Bob simulation of CONGEST algorithms (Section 1.4)."""
+
+from repro.cc.protocol import Channel, ProtocolResult, run_protocol
+from repro.cc.functions import (
+    DISJ,
+    EQ,
+    CCFunction,
+    disjointness,
+    equality,
+    gap_disjointness,
+    intersection_size,
+    all_inputs,
+    random_input_pairs,
+    random_disjoint_pair,
+    random_intersecting_pair,
+)
+from repro.cc.alice_bob import (
+    TwoPartySimulation,
+    simulate_two_party,
+    implied_round_lower_bound,
+)
+from repro.cc.randomized import (
+    equality_fingerprint_protocol,
+    estimate_error,
+)
+from repro.cc.nondeterministic import (
+    NondeterministicProtocol,
+    gamma,
+    GAMMA_TABLE,
+)
+
+__all__ = [
+    "Channel",
+    "ProtocolResult",
+    "run_protocol",
+    "DISJ",
+    "EQ",
+    "CCFunction",
+    "disjointness",
+    "equality",
+    "gap_disjointness",
+    "intersection_size",
+    "all_inputs",
+    "random_input_pairs",
+    "random_disjoint_pair",
+    "random_intersecting_pair",
+    "TwoPartySimulation",
+    "simulate_two_party",
+    "implied_round_lower_bound",
+    "equality_fingerprint_protocol",
+    "estimate_error",
+    "NondeterministicProtocol",
+    "gamma",
+    "GAMMA_TABLE",
+]

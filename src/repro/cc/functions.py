@@ -1,0 +1,137 @@
+"""The communication problems the paper reduces from (Section 1.3, 5.2).
+
+Inputs are bit strings represented as tuples of 0/1.  Known complexity
+facts are recorded on each :class:`CCFunction` as callables of K — they
+are *cited* bounds (Kushilevitz–Nisan [35]), used to evaluate the
+Theorem 1.1 formula, not re-proven here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+Bits = Tuple[int, ...]
+
+
+def disjointness(x: Sequence[int], y: Sequence[int]) -> bool:
+    """DISJ_K: TRUE iff no index i has x_i = y_i = 1."""
+    if len(x) != len(y):
+        raise ValueError("input length mismatch")
+    return not any(a == 1 and b == 1 for a, b in zip(x, y))
+
+
+def equality(x: Sequence[int], y: Sequence[int]) -> bool:
+    """EQ_K: TRUE iff x = y."""
+    if len(x) != len(y):
+        raise ValueError("input length mismatch")
+    return tuple(x) == tuple(y)
+
+
+def intersection_size(x: Sequence[int], y: Sequence[int]) -> int:
+    """|{i : x_i = y_i = 1}| — the quantity gap disjointness promises on."""
+    if len(x) != len(y):
+        raise ValueError("input length mismatch")
+    return sum(1 for a, b in zip(x, y) if a == 1 and b == 1)
+
+
+def gap_disjointness(x: Sequence[int], y: Sequence[int], gap: int) -> bool:
+    """Gap set disjointness (the gap-embedding tool of Section 1.1, after
+    [9]): TRUE iff the inputs are disjoint; inputs with intersection size
+    strictly between 0 and ``gap`` are promise violations.
+
+    Raises ``ValueError`` on promise violations so that constructions
+    reducing from the gap version fail loudly on illegal inputs.
+    """
+    size = intersection_size(x, y)
+    if 0 < size < gap:
+        raise ValueError(f"promise violation: intersection {size} in (0, {gap})")
+    return size == 0
+
+
+@dataclass(frozen=True)
+class CCFunction:
+    """A two-party Boolean function plus its known complexities.
+
+    ``cc``/``ccr``/``ccn``/``ccn_complement`` give the deterministic,
+    randomized, nondeterministic, and complement-nondeterministic
+    communication complexities as functions of the input length K (up to
+    constants; Θ of the returned expression).
+    """
+
+    name: str
+    evaluate: Callable[[Sequence[int], Sequence[int]], bool]
+    cc: Callable[[int], float]
+    ccr: Callable[[int], float]
+    ccn: Callable[[int], float]
+    ccn_complement: Callable[[int], float]
+
+    def __call__(self, x: Sequence[int], y: Sequence[int]) -> bool:
+        return self.evaluate(x, y)
+
+
+#: Set disjointness: CC = CCR = CCN = Θ(K); CCN(¬DISJ) = Θ(log K)
+#: ([35, Example 3.22] and [35, Example 1.23 / Definition 2.3]).
+DISJ = CCFunction(
+    name="DISJ",
+    evaluate=disjointness,
+    cc=lambda K: float(K),
+    ccr=lambda K: float(K),
+    ccn=lambda K: float(K),
+    ccn_complement=lambda K: math.log2(max(2, K)),
+)
+
+#: Equality: CC = CCN = Θ(K), CCR = Θ(log K), CCN(¬EQ) = Θ(log K).
+EQ = CCFunction(
+    name="EQ",
+    evaluate=equality,
+    cc=lambda K: float(K),
+    ccr=lambda K: math.log2(max(2, K)),
+    ccn=lambda K: float(K),
+    ccn_complement=lambda K: math.log2(max(2, K)),
+)
+
+
+def all_inputs(k_bits: int) -> Iterator[Bits]:
+    """All bit strings of length ``k_bits`` (use only for tiny K)."""
+    for bits in product((0, 1), repeat=k_bits):
+        yield bits
+
+
+def random_input_pairs(k_bits: int, count: int, rng: random.Random,
+                       ) -> List[Tuple[Bits, Bits]]:
+    """Random (x, y) pairs, balanced between TRUE and FALSE DISJ instances.
+
+    Uniform pairs are almost always intersecting for large K; the sweep
+    needs both sides of the predicate, so half the pairs are forced
+    disjoint and half forced intersecting.
+    """
+    pairs = []
+    for i in range(count):
+        if i % 2 == 0:
+            pairs.append(random_disjoint_pair(k_bits, rng))
+        else:
+            pairs.append(random_intersecting_pair(k_bits, rng))
+    return pairs
+
+
+def random_disjoint_pair(k_bits: int, rng: random.Random) -> Tuple[Bits, Bits]:
+    x = []
+    y = []
+    for __ in range(k_bits):
+        choice = rng.randint(0, 2)  # (0,0), (1,0), (0,1)
+        x.append(1 if choice == 1 else 0)
+        y.append(1 if choice == 2 else 0)
+    return tuple(x), tuple(y)
+
+
+def random_intersecting_pair(k_bits: int, rng: random.Random) -> Tuple[Bits, Bits]:
+    x = [rng.randint(0, 1) for __ in range(k_bits)]
+    y = [rng.randint(0, 1) for __ in range(k_bits)]
+    i = rng.randrange(k_bits)
+    x[i] = 1
+    y[i] = 1
+    return tuple(x), tuple(y)

@@ -1,0 +1,76 @@
+"""Nondeterministic two-party protocols and the Γ(f) measure (Section 5.2).
+
+A nondeterministic protocol consists of a *prover* that, given both
+inputs, produces certificates for Alice and Bob, and a deterministic
+*verifier* protocol run on (input, certificate) pairs.  Completeness:
+TRUE instances have an accepting certificate (the prover's).  Soundness:
+FALSE instances accept under no certificate — checked exhaustively on
+tiny instances by :meth:`NondeterministicProtocol.check_soundness`.
+
+Γ(f) = CC(f) / max(CCN(f), CCN(¬f)) bounds how much a lower bound via
+Theorem 1.1 can exceed what nondeterministic protocols allow
+(Claim 5.10); the table records the paper's instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+from repro.cc.functions import CCFunction
+from repro.cc.protocol import Channel, ProtocolResult
+
+Prover = Callable[[Any, Any], Tuple[Any, Any]]
+# verifier(x, cert_a, y, cert_b, channel) -> bool (accept)
+Verifier = Callable[[Any, Any, Any, Any, Channel], bool]
+
+
+@dataclass
+class NondeterministicProtocol:
+    """A (prover, verifier) pair for verifying a predicate on (x, y)."""
+
+    name: str
+    prover: Prover
+    verifier: Verifier
+
+    def run_honest(self, x: Any, y: Any) -> ProtocolResult:
+        """Run the verifier on the honest prover's certificates."""
+        cert_a, cert_b = self.prover(x, y)
+        channel = Channel()
+        accept = self.verifier(x, cert_a, y, cert_b, channel)
+        return ProtocolResult(output=accept, bits=channel.bits,
+                              messages=channel.messages,
+                              transcript=channel.transcript)
+
+    def check_completeness(self, x: Any, y: Any) -> ProtocolResult:
+        result = self.run_honest(x, y)
+        if not result.output:
+            raise AssertionError(
+                f"{self.name}: honest certificate rejected on a TRUE instance")
+        return result
+
+    def check_soundness(self, x: Any, y: Any,
+                        certificate_space: Iterable[Tuple[Any, Any]]) -> None:
+        """Exhaustively confirm no certificate is accepted (FALSE instance)."""
+        for cert_a, cert_b in certificate_space:
+            channel = Channel()
+            if self.verifier(x, cert_a, y, cert_b, channel):
+                raise AssertionError(
+                    f"{self.name}: certificate accepted on a FALSE instance")
+
+
+def gamma(f: CCFunction, k_bits: int) -> float:
+    """Γ(f) = CC(f) / max(CCN(f), CCN(¬f)) at input length ``k_bits``."""
+    denom = max(f.ccn(k_bits), f.ccn_complement(k_bits))
+    return f.cc(k_bits) / denom
+
+
+#: Section 5.2's worked values: Γ(DISJ) = O(1) and Γ(EQ) = O(1) — both
+#: have full-complexity nondeterministic certificates for one side —
+#: while in general Γ(f) = O(sqrt(CC(f))).
+GAMMA_TABLE = {
+    "DISJ": "Γ = Θ(1): CCN(DISJ) = Θ(K) [35, Ex 1.23/Def 2.3]",
+    "EQ": "Γ = Θ(1): CCN(EQ) = Θ(K)",
+    "general": "Γ(f) = O(sqrt(CC(f))) since CC ≤ O(CCN(f)·CCN(¬f)) [35, Thm 2.11]",
+}

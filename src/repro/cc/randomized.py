@@ -1,0 +1,92 @@
+"""Randomized two-party protocols (Section 1.3's model).
+
+The paper's randomized model lets Alice and Bob share truly random bits
+and demands correctness probability ≥ 2/3.  Two classic protocols are
+implemented because Section 5 leans on their complexities:
+
+- public-coin *equality fingerprinting*: CCR(EQ) = O(log K) — this is
+  why EQ-based families cannot give randomized bounds beyond Ω̃(1), and
+  why the paper reduces from DISJ (CCR(DISJ) = Θ(K) even with shared
+  randomness) everywhere;
+- the trivial one-bit send for comparison of error behaviour.
+
+``estimate_error`` measures the empirical failure probability, which
+the tests compare against the analytic 2^{-repetitions} bound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence, Tuple
+
+from repro.cc.protocol import Channel
+
+
+def equality_fingerprint_protocol(
+    x: Sequence[int],
+    y: Sequence[int],
+    channel: Channel,
+    shared_rng: random.Random,
+    repetitions: int = 8,
+) -> bool:
+    """Public-coin equality test: ⟨x, r⟩ = ⟨y, r⟩ (mod 2) for
+    ``repetitions`` shared random vectors r.
+
+    Always accepts equal inputs; rejects unequal inputs except with
+    probability 2^{-repetitions}.  Cost: ``repetitions`` bits from Alice
+    plus one answer bit — O(log(1/δ)), independent of K.
+    """
+    if len(x) != len(y):
+        raise ValueError("input length mismatch")
+    k = len(x)
+    for __ in range(repetitions):
+        r = [shared_rng.randint(0, 1) for _ in range(k)]
+        fx = sum(a * b for a, b in zip(x, r)) % 2
+        fy = sum(a * b for a, b in zip(y, r)) % 2
+        sent = channel.a_to_b(fx)
+        if sent != fy:
+            channel.b_to_a(False)
+            return False
+    channel.b_to_a(True)
+    return True
+
+
+def disjointness_trivial_protocol(
+    x: Sequence[int],
+    y: Sequence[int],
+    channel: Channel,
+) -> bool:
+    """The K-bit baseline for DISJ: Alice sends her whole input.
+
+    Unlike equality, no fingerprinting shortcut exists — CCR(DISJ) =
+    Θ(K) even with shared randomness ([35, Example 3.22]), which is why
+    every family in the paper reduces from DISJ.  The tests contrast
+    this protocol's K-bit cost against the O(log(1/δ)) equality test.
+    """
+    received = channel.a_to_b(tuple(x))
+    answer = not any(a == 1 and b == 1 for a, b in zip(received, y))
+    channel.b_to_a(answer)
+    return answer
+
+
+def estimate_error(
+    protocol: Callable[..., bool],
+    truth: Callable[[Sequence[int], Sequence[int]], bool],
+    pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+    trials: int = 50,
+    seed: int = 0,
+    **kwargs,
+) -> float:
+    """Empirical error rate of a randomized protocol over input pairs."""
+    wrong = 0
+    total = 0
+    master = random.Random(seed)
+    for x, y in pairs:
+        for __ in range(trials):
+            shared = random.Random(master.getrandbits(64))
+            channel = Channel()
+            answer = protocol(x, y, channel, shared, **kwargs)
+            if answer != truth(x, y):
+                wrong += 1
+            total += 1
+    return wrong / total

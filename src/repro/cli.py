@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+families              list every lower-bound family with its parameters
+describe FAMILY [-k]  build one family and print its Definition 1.1 data
+verify FAMILY [-k] [--pairs N]
+                      machine-check the family's iff-lemma on N input pairs
+experiments [--full] [--only ID ...]
+                      run the per-theorem experiments and print the table
+paper                 print the theorem-by-theorem coverage index
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Dict, Optional
+
+from repro.core.family import LowerBoundGraphFamily, validate_family, verify_iff
+
+
+def _family_registry() -> Dict[str, object]:
+    from repro import (
+        HamiltonianCycleFamily,
+        HamiltonianPathFamily,
+        KMdsFamily,
+        LinearApproxMaxISFamily,
+        MaxCutFamily,
+        MdsFamily,
+        MvcMaxISFamily,
+        NodeWeightedSteinerFamily,
+        SteinerTreeFamily,
+        UnweightedApproxMaxISFamily,
+        WeightedApproxMaxISFamily,
+    )
+    from repro.core.steiner_approx import DirectedSteinerFamily
+    from repro.covering import build_covering_collection
+
+    def with_collection(cls):
+        def make(k: int):
+            cc = build_covering_collection(universe_size=16, T=6, r=2, seed=0)
+            return cls(cc)
+        return make
+
+    return {
+        "mds": MdsFamily,
+        "hamiltonian-path": HamiltonianPathFamily,
+        "hamiltonian-cycle": HamiltonianCycleFamily,
+        "steiner": SteinerTreeFamily,
+        "maxcut": MaxCutFamily,
+        "mvc": MvcMaxISFamily,
+        "approx-maxis": WeightedApproxMaxISFamily,
+        "approx-maxis-unweighted": UnweightedApproxMaxISFamily,
+        "approx-maxis-linear": LinearApproxMaxISFamily,
+        "kmds": with_collection(lambda cc: KMdsFamily(cc, k=2)),
+        "node-weighted-steiner": with_collection(NodeWeightedSteinerFamily),
+        "directed-steiner": with_collection(DirectedSteinerFamily),
+    }
+
+
+def _build(name: str, k: int) -> LowerBoundGraphFamily:
+    registry = _family_registry()
+    if name not in registry:
+        raise SystemExit(f"unknown family {name!r}; try: "
+                         + ", ".join(sorted(registry)))
+    return registry[name](k)  # type: ignore[operator]
+
+
+def cmd_families(args: argparse.Namespace) -> None:
+    for name in sorted(_family_registry()):
+        try:
+            fam = _build(name, 4 if "maxcut" not in name
+                         and "hamiltonian" not in name else 2)
+            d = fam.describe()
+            print(f"{name:<26} n={d['n']:5d}  |Ecut|={d['ecut']:4d}  "
+                  f"K={d['K']:4d}  bound={d['implied_bound']:.3f}")
+        except Exception as exc:  # pragma: no cover - CLI resilience
+            print(f"{name:<26} (unavailable at default size: {exc})")
+
+
+def cmd_describe(args: argparse.Namespace) -> None:
+    fam = _build(args.family, args.k)
+    for key, value in fam.describe().items():
+        print(f"{key:>14}: {value}")
+
+
+def cmd_verify(args: argparse.Namespace) -> None:
+    from repro.cc.functions import random_input_pairs
+
+    fam = _build(args.family, args.k)
+    print(f"validating Definition 1.1 for {args.family} (k={args.k}) ...")
+    validate_family(fam)
+    print("  structural requirements: OK")
+    rng = random.Random(args.seed)
+    pairs = random_input_pairs(fam.k_bits, args.pairs, rng)
+    report = verify_iff(fam, pairs, negate=True)
+    print(f"  iff-lemma: {report}")
+
+
+def cmd_paper(args: argparse.Namespace) -> None:
+    from repro.paper import coverage_table
+
+    print(coverage_table())
+
+
+def cmd_experiments(args: argparse.Namespace) -> None:
+    from repro.experiments import format_markdown, run_all
+
+    records = run_all(quick=not args.full,
+                      only=args.only if args.only else None)
+    print(format_markdown(records))
+    failed = [r.experiment_id for r in records if not r.passed]
+    if failed:
+        raise SystemExit(f"FAILED: {failed}")
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hardness of Distributed Optimization (PODC 2019) "
+                    "reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list available lower-bound families")
+
+    p = sub.add_parser("describe", help="print one family's parameters")
+    p.add_argument("family")
+    p.add_argument("-k", type=int, default=4)
+
+    p = sub.add_parser("verify", help="machine-check a family's iff-lemma")
+    p.add_argument("family")
+    p.add_argument("-k", type=int, default=4)
+    p.add_argument("--pairs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("experiments", help="run the per-theorem experiments")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--only", nargs="*", default=None)
+
+    sub.add_parser("paper", help="theorem-by-theorem coverage index")
+
+    args = parser.parse_args(argv)
+    {
+        "families": cmd_families,
+        "describe": cmd_describe,
+        "verify": cmd_verify,
+        "experiments": cmd_experiments,
+        "paper": cmd_paper,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

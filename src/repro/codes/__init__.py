@@ -1,0 +1,6 @@
+"""Prime fields and Reed-Solomon codes (Section 4.1's code gadget)."""
+
+from repro.codes.gf import PrimeField
+from repro.codes.reed_solomon import ReedSolomonCode, hamming_distance
+
+__all__ = ["PrimeField", "ReedSolomonCode", "hamming_distance"]

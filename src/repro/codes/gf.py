@@ -1,0 +1,70 @@
+"""Arithmetic in GF(p) for prime p.
+
+Section 4.1 needs a field of size q > ℓ + t; prime fields suffice (the
+paper allows any prime power, and every scale we instantiate admits a
+prime q — see :func:`next_prime`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ≥ n."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class PrimeField:
+    """GF(p); elements are ints in [0, p)."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.p = p
+
+    @property
+    def size(self) -> int:
+        return self.p
+
+    def elements(self) -> List[int]:
+        return list(range(self.p))
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        if a % self.p == 0:
+            raise ZeroDivisionError("inverse of zero")
+        return pow(a, self.p - 2, self.p)
+
+    def eval_poly(self, coeffs: List[int], x: int) -> int:
+        """Evaluate Σ coeffs[i]·x^i (Horner)."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * x + c) % self.p
+        return acc

@@ -1,0 +1,24 @@
+"""Synchronous CONGEST model simulator and distributed algorithms.
+
+The CONGEST model (Section 1 of the paper): n vertices communicate in
+synchronous rounds over the edges of the underlying network graph, sending
+at most O(log n) bits per edge per round.  Local computation is unbounded.
+"""
+
+from repro.congest.model import (
+    CongestSimulator,
+    NodeAlgorithm,
+    NodeContext,
+    BandwidthExceeded,
+    default_bandwidth,
+    message_bits,
+)
+
+__all__ = [
+    "CongestSimulator",
+    "NodeAlgorithm",
+    "NodeContext",
+    "BandwidthExceeded",
+    "default_bandwidth",
+    "message_bits",
+]

@@ -1,0 +1,53 @@
+"""Distributed algorithms on the CONGEST simulator.
+
+These provide the *upper bound* side of the paper: the universal
+learn-the-graph algorithm (O(m + D) rounds, giving the O(n²) matching
+upper bounds for the exact problems of Section 2), BFS/leader primitives,
+and the (1 − ε)-approximate max-cut algorithm of Theorem 2.9.
+"""
+
+from repro.congest.algorithms.basic import (
+    FloodMinId,
+    BfsFromRoot,
+    run_leader_election,
+    run_bfs,
+)
+from repro.congest.algorithms.collect import (
+    CollectAndSolve,
+    run_collect_and_solve,
+    run_universal_exact,
+)
+from repro.congest.algorithms.maxcut_sampling import (
+    run_maxcut_sampling,
+    MaxCutSamplingResult,
+)
+from repro.congest.algorithms.mds_greedy import run_greedy_mds
+from repro.congest.algorithms.local_model import run_local_universal
+from repro.congest.algorithms.split_simulation import run_split_simulation
+from repro.congest.algorithms.aggregate import (
+    MAX,
+    MIN,
+    SUM,
+    ConvergecastBroadcast,
+    run_aggregate,
+)
+
+__all__ = [
+    "FloodMinId",
+    "BfsFromRoot",
+    "run_leader_election",
+    "run_bfs",
+    "CollectAndSolve",
+    "run_collect_and_solve",
+    "run_universal_exact",
+    "run_maxcut_sampling",
+    "MaxCutSamplingResult",
+    "run_greedy_mds",
+    "run_local_universal",
+    "run_split_simulation",
+    "ConvergecastBroadcast",
+    "run_aggregate",
+    "SUM",
+    "MAX",
+    "MIN",
+]

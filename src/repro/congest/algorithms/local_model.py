@@ -1,0 +1,77 @@
+"""The LOCAL model, for the separations the paper draws (Section 1, 4.1).
+
+LOCAL is CONGEST without the bandwidth bound: the simulator runs with
+``bandwidth=math.inf``.  Any problem is then solvable in O(D) rounds by
+flooding complete neighbourhood knowledge — each round every vertex
+forwards everything it knows, so after D rounds everyone holds the
+whole graph and solves locally.
+
+This is the model in which (1 + ε)-approximate MaxIS and k-MDS are easy
+[20], so the paper's Ω̃(n²) CONGEST approximation bounds (Theorems 4.1,
+4.3-4.5) are genuine CONGEST/LOCAL separations: the bandwidth, not the
+locality, is the obstruction.  ``run_local_universal`` makes the
+separation measurable — O(D) rounds here versus Θ(m) for the CONGEST
+collect-and-solve on the same instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.congest.model import CongestSimulator, Message, NodeAlgorithm, NodeContext
+from repro.graphs import Graph, Vertex
+
+
+class FloodKnowledge(NodeAlgorithm):
+    """Each round, forward every known edge to every neighbour; halt once
+    knowledge stabilizes everywhere (detected via a done-wave)."""
+
+    def __init__(self, local_solver: Callable[[Graph], Dict[int, Any]]) -> None:
+        self.local_solver = local_solver
+        self.known: Set[Tuple[int, int]] = set()
+        self.stable_rounds = 0
+
+    def _my_edges(self, ctx: NodeContext) -> Set[Tuple[int, int]]:
+        return {(min(ctx.uid, w), max(ctx.uid, w)) for w in ctx.neighbors}
+
+    def on_start(self, ctx: NodeContext) -> Dict[int, Message]:
+        self.known = self._my_edges(ctx)
+        payload = tuple(sorted(self.known))
+        return {w: payload for w in ctx.neighbors}
+
+    def on_round(self, ctx: NodeContext, messages: Dict[int, Message]) -> Dict[int, Message]:
+        before = len(self.known)
+        for payload in messages.values():
+            self.known.update(tuple(e) for e in payload)
+        if len(self.known) == before:
+            self.stable_rounds += 1
+        else:
+            self.stable_rounds = 0
+        # knowledge of a connected graph stabilizes after ecc(v) rounds;
+        # one extra quiet round guarantees every neighbour is stable too
+        if self.stable_rounds >= 2:
+            g = Graph()
+            g.add_vertices(range(ctx.n))
+            for u, v in self.known:
+                g.add_edge(u, v)
+            solution = self.local_solver(g)
+            ctx.halt(solution.get(ctx.uid))
+            return {}
+        payload = tuple(sorted(self.known))
+        return {w: payload for w in ctx.neighbors}
+
+
+def run_local_universal(
+    graph: Graph,
+    local_solver: Callable[[Graph], Dict[int, Any]],
+) -> Tuple[Dict[Vertex, Any], CongestSimulator]:
+    """Solve any problem in O(D) LOCAL rounds by full-knowledge flooding.
+
+    ``local_solver`` maps the reconstructed uid-graph to per-uid outputs
+    (it must be deterministic so all vertices agree).  Returns outputs by
+    label and the simulator (``sim.rounds`` ≈ diameter + O(1)).
+    """
+    sim = CongestSimulator(graph, bandwidth=math.inf)
+    outputs = sim.run(lambda: FloodKnowledge(local_solver))
+    return outputs, sim

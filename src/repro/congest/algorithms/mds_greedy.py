@@ -1,0 +1,88 @@
+"""A distributed greedy MDS approximation in the local-aggregate class.
+
+Section 4.5 restricts attention to *local aggregate algorithms*: per
+round, the message a vertex sends depends only on its own O(log n)-bit
+input-state, the recipient id, shared randomness, and an aggregate
+function of the messages received in the previous round.  The paper notes
+the known O(log Δ)-approximation algorithms for MDS fit this class
+[26, 33, 34]; we implement a representative member — greedy span
+domination with distance-2 locally-maximal selection — whose messages are
+single values aggregated by ``max``.
+
+Each phase (4 rounds):
+  1. every undominated-relevant vertex announces its *span* (number of
+     undominated vertices in its closed neighbourhood), tie-broken by uid;
+  2. every vertex forwards the max span key it heard (distance-2 max);
+  3. vertices whose key is the strict max within distance 2 join the
+     dominating set and announce it;
+  4. newly dominated vertices announce their status.
+Terminates when every vertex is dominated; at most n phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.congest.model import CongestSimulator, Message, NodeAlgorithm, NodeContext
+from repro.graphs import Graph, Vertex
+
+
+class GreedyMdsNode(NodeAlgorithm):
+    def __init__(self) -> None:
+        self.in_set = False
+        self.dominated = False
+        self.nbr_dominated: Dict[int, bool] = {}
+        self.phase_step = 0
+        self.my_key: Tuple[int, int] = (0, 0)
+        self.best_key: Tuple[int, int] = (0, 0)
+
+    def _span(self, ctx: NodeContext) -> int:
+        span = 0 if self.dominated else 1
+        span += sum(1 for w in ctx.neighbors if not self.nbr_dominated.get(w, False))
+        return span
+
+    def on_start(self, ctx: NodeContext) -> Dict[int, Message]:
+        self.nbr_dominated = {w: False for w in ctx.neighbors}
+        self.my_key = (self._span(ctx), ctx.uid)
+        return {w: self.my_key for w in ctx.neighbors}
+
+    def on_round(self, ctx: NodeContext, messages: Dict[int, Message]) -> Dict[int, Message]:
+        step = self.phase_step
+        self.phase_step = (self.phase_step + 1) % 4
+        if step == 0:
+            # received spans; forward the max seen (distance-2 aggregation)
+            keys = [tuple(v) for v in messages.values()] + [self.my_key]
+            self.best_key = max(keys)
+            return {w: self.best_key for w in ctx.neighbors}
+        if step == 1:
+            # received distance-2 maxima; decide membership
+            keys = [tuple(v) for v in messages.values()] + [self.best_key]
+            overall = max(keys)
+            join = (not self.in_set and self.my_key[0] > 0
+                    and overall == self.my_key)
+            if join:
+                self.in_set = True
+                self.dominated = True
+            return {w: join for w in ctx.neighbors}
+        if step == 2:
+            # received join announcements; update domination
+            if any(messages.values()):
+                self.dominated = True
+            return {w: self.dominated for w in ctx.neighbors}
+        # step == 3: received domination statuses
+        for w, dom in messages.items():
+            self.nbr_dominated[w] = bool(dom)
+        if self.dominated and all(self.nbr_dominated.values()):
+            # everyone in the closed neighbourhood is dominated; this
+            # vertex can stop once it is not needed as a candidate
+            ctx.halt(self.in_set)
+            return {}
+        self.my_key = (self._span(ctx), ctx.uid)
+        return {w: self.my_key for w in ctx.neighbors}
+
+
+def run_greedy_mds(graph: Graph) -> Tuple[Dict[Vertex, bool], CongestSimulator]:
+    """Run the greedy local-aggregate MDS; returns (membership, simulator)."""
+    sim = CongestSimulator(graph)
+    outputs = sim.run(GreedyMdsNode, max_rounds=50 * max(4, graph.n))
+    return {v: bool(out) for v, out in outputs.items()}, sim

@@ -1,0 +1,298 @@
+"""Local aggregate algorithms (Definition 4.1 and the Theorem 4.8 model).
+
+A *local aggregate algorithm* restricts what a CONGEST vertex may do: in
+each round its per-recipient message is a function of its own O(log n)-bit
+round input, the recipient id, shared randomness, and an *aggregate
+function* f of the messages received in the previous round, where f is
+order-invariant and splits as f(X) = φ(f(X₁), f(X₂)) over any partition.
+
+This restriction is what makes the Theorem 4.8 simulation work: for a
+vertex simulated *jointly* by Alice and Bob, each player aggregates the
+messages from its own side and they exchange only the two partial
+aggregates (O(log n) bits) per shared vertex per round.
+
+:func:`run_local_aggregate` executes a spec on the full graph;
+:func:`simulate_shared_two_party` executes it in the two-player setting
+with a shared vertex set, counting exactly the bits Theorem 4.8 charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.congest.model import message_bits
+from repro.graphs import Graph, Vertex
+
+
+class LocalAggregateSpec:
+    """Behaviour of one vertex of a local aggregate algorithm.
+
+    Subclasses define the aggregate (monoid) and the per-round logic.
+    States are per-vertex and opaque to the framework.
+    """
+
+    #: identity element of the aggregate monoid
+    identity: Any = None
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """The φ of Definition 4.1 (associative, commutative)."""
+        raise NotImplementedError
+
+    def initial_state(self, uid: int, n: int, weight: float,
+                      degree: int) -> Any:
+        raise NotImplementedError
+
+    def message(self, state: Any, recipient: int) -> Any:
+        """The message sent this round (O(log n) bits)."""
+        raise NotImplementedError
+
+    def update(self, state: Any, aggregate: Any) -> Tuple[Any, bool]:
+        """Consume the round's aggregate; returns (state, done)."""
+        raise NotImplementedError
+
+    def output(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+@dataclass
+class LocalAggregateRun:
+    outputs: Dict[Vertex, Any]
+    rounds: int
+    shared_bits: int = 0
+    direct_cut_bits: int = 0
+
+    @property
+    def total_two_party_bits(self) -> int:
+        return self.shared_bits + self.direct_cut_bits
+
+
+def _execute(graph: Graph, spec: LocalAggregateSpec, max_rounds: int,
+             bit_counter: Optional[Callable[[Vertex, Vertex, Any], None]],
+             ) -> Tuple[Dict[Vertex, Any], int]:
+    labels = sorted(graph.vertices(), key=repr)
+    uid_of = {v: i for i, v in enumerate(labels)}
+    n = len(labels)
+    states = {v: spec.initial_state(uid_of[v], n, graph.vertex_weight(v),
+                                    graph.degree(v))
+              for v in labels}
+    done = {v: False for v in labels}
+    rounds = 0
+    # round 0 messages
+    outbox: Dict[Vertex, Dict[Vertex, Any]] = {}
+    for v in labels:
+        outbox[v] = {w: spec.message(states[v], uid_of[w])
+                     for w in graph.neighbors(v)}
+    while not all(done.values()):
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("local aggregate algorithm did not converge")
+        inbox: Dict[Vertex, List[Any]] = {v: [] for v in labels}
+        for sender, msgs in outbox.items():
+            for recipient, msg in msgs.items():
+                inbox[recipient].append(msg)
+                if bit_counter is not None:
+                    bit_counter(sender, recipient, msg)
+        outbox = {}
+        for v in labels:
+            if done[v]:
+                outbox[v] = {}
+                continue
+            agg = spec.identity
+            for msg in inbox[v]:
+                agg = spec.combine(agg, msg)
+            states[v], finished = spec.update(states[v], agg)
+            if finished:
+                done[v] = True
+                outbox[v] = {}
+            else:
+                outbox[v] = {w: spec.message(states[v], uid_of[w])
+                             for w in graph.neighbors(v)}
+    return {v: spec.output(states[v]) for v in labels}, rounds
+
+
+def run_local_aggregate(graph: Graph, spec: LocalAggregateSpec,
+                        max_rounds: int = 10000) -> LocalAggregateRun:
+    outputs, rounds = _execute(graph, spec, max_rounds, None)
+    return LocalAggregateRun(outputs=outputs, rounds=rounds)
+
+
+def simulate_shared_two_party(
+    graph: Graph,
+    alice: Iterable[Vertex],
+    shared: Iterable[Vertex],
+    spec: LocalAggregateSpec,
+    max_rounds: int = 10000,
+) -> LocalAggregateRun:
+    """The Theorem 4.8 simulation.
+
+    Vertices split into Alice's, Bob's, and *shared* (simulated by both
+    players).  Per round, each shared vertex costs the exchange of both
+    players' partial aggregates; messages on direct Alice-Bob edges are
+    charged like in Theorem 1.1.  Messages to, from, or within a single
+    side are free.
+    """
+    alice_set = set(alice)
+    shared_set = set(shared)
+    bob_set = set(graph.vertices()) - alice_set - shared_set
+    counters = {"shared": 0, "direct": 0}
+    partials: Dict[Vertex, Dict[str, Any]] = {}
+
+    def side(v: Vertex) -> str:
+        if v in shared_set:
+            return "shared"
+        return "A" if v in alice_set else "B"
+
+    def bit_counter(sender: Vertex, recipient: Vertex, msg: Any) -> None:
+        s, r = side(sender), side(recipient)
+        if r == "shared" and s in ("A", "B"):
+            # absorbed into the side's partial aggregate; the exchange is
+            # charged once per shared vertex per round below
+            key = partials.setdefault(recipient, {"A": None, "B": None})
+            if key[s] is None:
+                key[s] = 0
+            key[s] = max(key[s], message_bits(msg))
+        elif {s, r} == {"A", "B"}:
+            counters["direct"] += message_bits(msg)
+        # A->A, B->B, shared->anything: free (both players can compute
+        # the shared vertex's outgoing messages locally)
+
+    labels = sorted(graph.vertices(), key=repr)
+    uid_of = {v: i for i, v in enumerate(labels)}
+    n = len(labels)
+    states = {v: spec.initial_state(uid_of[v], n, graph.vertex_weight(v),
+                                    graph.degree(v))
+              for v in labels}
+    done = {v: False for v in labels}
+    rounds = 0
+    outbox: Dict[Vertex, Dict[Vertex, Any]] = {}
+    for v in labels:
+        outbox[v] = {w: spec.message(states[v], uid_of[w])
+                     for w in graph.neighbors(v)}
+    while not all(done.values()):
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("local aggregate algorithm did not converge")
+        partials.clear()
+        inbox: Dict[Vertex, List[Any]] = {v: [] for v in labels}
+        for sender, msgs in outbox.items():
+            for recipient, msg in msgs.items():
+                inbox[recipient].append(msg)
+                bit_counter(sender, recipient, msg)
+        # charge the partial-aggregate exchange for each shared vertex
+        # that received anything this round (both directions)
+        for v, parts in partials.items():
+            for s in ("A", "B"):
+                if parts[s] is not None:
+                    counters["shared"] += parts[s]
+        outbox = {}
+        for v in labels:
+            if done[v]:
+                outbox[v] = {}
+                continue
+            agg = spec.identity
+            for msg in inbox[v]:
+                agg = spec.combine(agg, msg)
+            states[v], finished = spec.update(states[v], agg)
+            if finished:
+                done[v] = True
+                outbox[v] = {}
+            else:
+                outbox[v] = {w: spec.message(states[v], uid_of[w])
+                             for w in graph.neighbors(v)}
+    outputs = {v: spec.output(states[v]) for v in labels}
+    return LocalAggregateRun(outputs=outputs, rounds=rounds,
+                             shared_bits=counters["shared"],
+                             direct_cut_bits=counters["direct"])
+
+
+# ----------------------------------------------------------------------
+# a concrete member of the class: weight-aware greedy MDS
+# ----------------------------------------------------------------------
+class GreedyMdsSpec(LocalAggregateSpec):
+    """Greedy span/weight MDS selection with distance-2 max aggregation.
+
+    Messages are fixed-width ``(key, flag, 1)`` tuples of O(log n) bits;
+    the aggregate combines componentwise as (max, sum, sum) — order
+    invariant and partition-splitting, so the algorithm is local
+    aggregate in the sense of Definition 4.1.
+
+    Each 4-round phase mirrors
+    :class:`repro.congest.algorithms.mds_greedy`: (0) broadcast the
+    span/weight key, (1) forward the distance-1 max so every vertex sees
+    the distance-2 max, (2) locally-maximal keys join and announce,
+    (3) vertices announce domination; span counters refresh and fully
+    dominated neighbourhoods halt.
+    """
+
+    identity = ((-1, -1), 0, 0)
+
+    SCALE = 1 << 16
+
+    def combine(self, a: Any, b: Any) -> Any:
+        return (max(a[0], b[0]), a[1] + b[1], a[2] + b[2])
+
+    def initial_state(self, uid: int, n: int, weight: float, degree: int) -> Any:
+        return {
+            "uid": uid,
+            "weight": weight,
+            "phase": 0,
+            "in_set": False,
+            "dominated": False,
+            "undominated_nbrs": degree,
+            "my_key": None,
+            "best_key": None,
+            "just_joined": False,
+        }
+
+    def _key(self, state: Dict[str, Any]) -> Tuple[int, int]:
+        span = (0 if state["dominated"] else 1) + state["undominated_nbrs"]
+        if span <= 0:
+            return (0, state["uid"])
+        if state["weight"] <= 0:
+            ratio = span * self.SCALE * 1000  # free vertices first
+        else:
+            ratio = int(span * self.SCALE / state["weight"])
+        return (max(1, ratio), state["uid"])
+
+    def message(self, state: Dict[str, Any], recipient: int) -> Any:
+        phase = state["phase"]
+        if phase == 0:
+            return (self._key(state), 0, 1)
+        if phase == 1:
+            return (state["best_key"], 0, 1)
+        if phase == 2:
+            return ((-1, -1), 1 if state["just_joined"] else 0, 1)
+        return ((-1, -1), 1 if state["dominated"] else 0, 1)
+
+    def update(self, state: Dict[str, Any], agg: Any) -> Tuple[Any, bool]:
+        phase = state["phase"]
+        state = dict(state)
+        max_key, flag_sum, count = agg
+        if phase == 0:
+            state["my_key"] = self._key(state)
+            state["best_key"] = max(max_key, state["my_key"])
+            state["phase"] = 1
+        elif phase == 1:
+            overall = max(max_key, state["best_key"])
+            join = (not state["in_set"] and state["my_key"][0] > 0
+                    and overall == state["my_key"])
+            state["just_joined"] = join
+            if join:
+                state["in_set"] = True
+                state["dominated"] = True
+            state["phase"] = 2
+        elif phase == 2:
+            if flag_sum > 0:
+                state["dominated"] = True
+            state["phase"] = 3
+        else:
+            # halted neighbours send nothing and are fully dominated
+            state["undominated_nbrs"] = count - flag_sum
+            state["phase"] = 0
+            if state["dominated"] and state["undominated_nbrs"] == 0:
+                return state, True
+        return state, False
+
+    def output(self, state: Dict[str, Any]) -> bool:
+        return state["in_set"]

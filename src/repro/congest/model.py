@@ -1,0 +1,201 @@
+"""The synchronous CONGEST simulator.
+
+Design notes
+------------
+- Vertices are identified by their graph labels.  CONGEST assumes
+  O(log n)-bit identifiers; the simulator assigns each label an integer id
+  in ``0..n-1`` and exposes both.
+- A round proceeds in lockstep: every awake vertex sees the messages
+  delivered on its incident edges, updates state, and emits messages for
+  the next round.  Message size is measured by :func:`message_bits` and
+  checked against the bandwidth (``None`` disables the check, yielding the
+  LOCAL model).
+- Algorithms are written by subclassing :class:`NodeAlgorithm`.  One
+  instance is created per vertex; the simulator owns scheduling and
+  delivery only, so algorithms cannot cheat by sharing state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.graphs import DiGraph, Graph, Vertex
+
+Message = Any
+
+
+class BandwidthExceeded(Exception):
+    """A message exceeded the per-edge per-round bandwidth."""
+
+
+def message_bits(msg: Message) -> int:
+    """Size accounting for messages.
+
+    Integers cost their two's-complement width, booleans 1 bit, floats 64,
+    strings 8 bits per character, ``None`` 1 bit, and containers the sum of
+    their items plus 2 bits of framing per item.  This deliberately
+    over-counts a little; the paper's bounds are asymptotic and the
+    simulator only needs a consistent, conservative measure.
+    """
+    if msg is None:
+        return 1
+    if isinstance(msg, bool):
+        return 1
+    if isinstance(msg, int):
+        return max(1, msg.bit_length() + 1)
+    if isinstance(msg, float):
+        return 64
+    if isinstance(msg, str):
+        return 8 * len(msg)
+    if isinstance(msg, (tuple, list)):
+        return sum(message_bits(x) + 2 for x in msg)
+    if isinstance(msg, dict):
+        return sum(message_bits(k) + message_bits(v) + 4 for k, v in msg.items())
+    if isinstance(msg, frozenset):
+        return sum(message_bits(x) + 2 for x in msg)
+    raise TypeError(f"unsupported message type {type(msg)!r}")
+
+
+def default_bandwidth(n: int, c: int = 8) -> int:
+    """The standard CONGEST bandwidth ``c · ceil(log2 n)`` bits."""
+    return c * max(1, math.ceil(math.log2(max(2, n))))
+
+
+class NodeContext:
+    """Everything a vertex is allowed to see locally.
+
+    Attributes
+    ----------
+    label : the vertex label in the input graph
+    uid : integer identifier in ``0..n-1`` (O(log n) bits)
+    neighbors : sorted tuple of neighbour uids
+    n : number of vertices (standard CONGEST assumption)
+    input : per-vertex input (problem specific)
+    """
+
+    def __init__(self, label: Vertex, uid: int, neighbors: Tuple[int, ...],
+                 n: int, node_input: Any,
+                 edge_weights: Dict[int, float],
+                 vertex_weight: float) -> None:
+        self.label = label
+        self.uid = uid
+        self.neighbors = neighbors
+        self.n = n
+        self.input = node_input
+        self.edge_weights = edge_weights  # neighbour uid -> weight
+        self.vertex_weight = vertex_weight
+        self.output: Any = None
+        self.halted = False
+
+    def halt(self, output: Any = None) -> None:
+        self.output = output
+        self.halted = True
+
+
+class NodeAlgorithm:
+    """Base class for per-vertex CONGEST algorithms.
+
+    Subclasses override :meth:`on_start` (messages for round 1) and
+    :meth:`on_round` (invoked each round with the messages received).
+    Both return a dict ``{neighbor uid: message}``; omitted neighbours get
+    nothing.  Call ``ctx.halt(output)`` to stop; a halted vertex neither
+    sends nor processes further messages.
+    """
+
+    def on_start(self, ctx: NodeContext) -> Dict[int, Message]:
+        return {}
+
+    def on_round(self, ctx: NodeContext, messages: Dict[int, Message]) -> Dict[int, Message]:
+        raise NotImplementedError
+
+
+class CongestSimulator:
+    """Run a :class:`NodeAlgorithm` over a graph, enforcing bandwidth."""
+
+    def __init__(
+        self,
+        graph: Union[Graph, DiGraph],
+        bandwidth: Optional[float] = None,
+        bandwidth_factor: int = 8,
+    ) -> None:
+        """``bandwidth=None`` selects the standard CONGEST
+        ``bandwidth_factor·log2 n`` bits; ``math.inf`` gives the LOCAL
+        model (no bound, sizes still accounted)."""
+        self.graph = graph
+        base = graph.to_undirected() if isinstance(graph, DiGraph) else graph
+        self._base = base
+        self.labels = sorted(base.vertices(), key=repr)
+        self.uid_of = {v: i for i, v in enumerate(self.labels)}
+        self.n = len(self.labels)
+        if bandwidth is None:
+            bandwidth = default_bandwidth(self.n, bandwidth_factor)
+        self.bandwidth = bandwidth
+        self.rounds = 0
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_message_bits = 0
+        #: optional callback ``(sender uid, receiver uid, bits)`` invoked on
+        #: every message; used by the Theorem 1.1 two-party simulation.
+        self.observer: Optional[Callable[[int, int, int], None]] = None
+
+    def run(
+        self,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        inputs: Optional[Dict[Vertex, Any]] = None,
+        max_rounds: int = 100000,
+    ) -> Dict[Vertex, Any]:
+        """Execute until every vertex halts; return outputs by label."""
+        inputs = inputs or {}
+        base = self._base
+        contexts: Dict[int, NodeContext] = {}
+        algos: Dict[int, NodeAlgorithm] = {}
+        for label in self.labels:
+            uid = self.uid_of[label]
+            nbrs = tuple(sorted(self.uid_of[w] for w in base.neighbors(label)))
+            weights = {self.uid_of[w]: base.edge_weight(label, w)
+                       for w in base.neighbors(label)}
+            contexts[uid] = NodeContext(
+                label, uid, nbrs, self.n, inputs.get(label),
+                weights, base.vertex_weight(label))
+            algos[uid] = algorithm_factory()
+
+        # round 0: on_start
+        outbox: Dict[int, Dict[int, Message]] = {}
+        for uid, ctx in contexts.items():
+            outbox[uid] = self._check(algos[uid].on_start(ctx), ctx)
+
+        while not all(ctx.halted for ctx in contexts.values()):
+            if self.rounds >= max_rounds:
+                raise RuntimeError(f"exceeded {max_rounds} rounds")
+            self.rounds += 1
+            inbox: Dict[int, Dict[int, Message]] = {uid: {} for uid in contexts}
+            for sender, msgs in outbox.items():
+                for receiver, msg in msgs.items():
+                    inbox[receiver][sender] = msg
+            outbox = {}
+            for uid, ctx in contexts.items():
+                if ctx.halted:
+                    outbox[uid] = {}
+                    continue
+                outbox[uid] = self._check(
+                    algos[uid].on_round(ctx, inbox[uid]), ctx)
+        return {ctx.label: ctx.output for ctx in contexts.values()}
+
+    def _check(self, msgs: Dict[int, Message], ctx: NodeContext) -> Dict[int, Message]:
+        # A vertex may halt and still deliver the messages it returned in
+        # the same round; it is only skipped from the next round onwards.
+        for receiver, msg in msgs.items():
+            if receiver not in ctx.neighbors:
+                raise ValueError(
+                    f"vertex {ctx.uid} sending to non-neighbor {receiver}")
+            bits = message_bits(msg)
+            self.total_messages += 1
+            self.total_bits += bits
+            self.max_message_bits = max(self.max_message_bits, bits)
+            if self.observer is not None:
+                self.observer(ctx.uid, receiver, bits)
+            if self.bandwidth is not None and bits > self.bandwidth:
+                raise BandwidthExceeded(
+                    f"{bits}-bit message exceeds bandwidth {self.bandwidth}")
+        return dict(msgs)

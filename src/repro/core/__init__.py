@@ -1,0 +1,23 @@
+"""The paper's primary contribution: lower-bound graph families.
+
+Each submodule implements one of the constructions (Figures 1-7 and the
+Section 3/4 reductions) as a :class:`~repro.core.family.LowerBoundGraphFamily`
+that can be built, validated against Definition 1.1, and checked against
+its carrying lemma with the exact solvers.
+"""
+
+from repro.core.family import (
+    LowerBoundGraphFamily,
+    FamilyValidationError,
+    validate_family,
+    verify_iff,
+    theorem_1_1_bound,
+)
+
+__all__ = [
+    "LowerBoundGraphFamily",
+    "FamilyValidationError",
+    "validate_family",
+    "verify_iff",
+    "theorem_1_1_bound",
+]

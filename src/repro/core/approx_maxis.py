@@ -1,0 +1,368 @@
+"""Section 4.1: hardness of approximating MaxIS (Theorems 4.1-4.3).
+
+The code gadget.  Parameters: k (a power of two) rows per set, t = log k,
+ℓ ≈ log²k chosen so that q = ℓ + t + 1 is prime, and a Reed-Solomon code
+C with parameters (ℓ+t, t, ℓ+1, q).  Each row vertex S^i is represented
+by the codeword g(i); distinct rows differ in ≥ ℓ coordinates, which is
+what turns the ±1 slack of the exact constructions into a Θ(ℓ) gap.
+
+Weighted family (Theorem 4.3): rows A1, A2, B1, B2 are k-cliques of
+weight-ℓ vertices.  Per set S, coordinate j ∈ [ℓ+t] and symbol α ∈ F_q a
+weight-1 gadget vertex α^S_j; row(j, S) is a clique; row(j, Az) and
+row(j, Bz) are joined by a complete bipartite graph minus the perfect
+matching (same-α pairs stay independent).  S^i is adjacent to every
+gadget vertex of its set *except* its own codeword positions.  Input
+edges (a^i_1, a^{i'}_2) iff x_{i,i'} = 0 (and b-rows via y).
+
+Lemma 4.1:  max-weight IS = 8ℓ + 4t iff DISJ = FALSE, else ≤ 7ℓ + 4t
+(the ceiling is attained whenever a player's input contains a 1) —
+a 7/8 + ε gap with |Ecut| = O((ℓ+t)²) = O(log⁴ n), giving Ω̃(n²)
+(Theorem 4.3).  The unweighted family (Theorem 4.1) blows each row
+vertex up into a batch of ℓ unit-weight twins.  The linear family
+(Theorem 4.2) drops the A1/B1 side for batches batch(v_A), batch(v_B)
+joined to the remaining rows by DISJ_k, giving a 5/6 + ε gap at Ω̃(n).
+
+Verification: the structured exact solver below enumerates the ≤ 1
+row-per-clique choices and solves each gadget column independently
+(justified by Claim 4.1, which tests re-verify against the generic
+branch-and-bound solver on the smallest instances).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.codes.gf import PrimeField, next_prime
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.core.family import LowerBoundGraphFamily
+from repro.core.mds import _check_power_of_two
+from repro.graphs import Graph, Vertex
+
+SETS = ("A1", "A2", "B1", "B2")
+
+
+def row(set_name: str, i: int) -> Vertex:
+    return ("row", set_name, i)
+
+
+def batch_row(set_name: str, i: int, xi: int) -> Vertex:
+    return ("batch", set_name, i, xi)
+
+
+def gadget(set_name: str, j: int, alpha: int) -> Vertex:
+    return ("cg", set_name, j, alpha)
+
+
+def choose_code_params(k: int) -> Tuple[int, int, int]:
+    """Pick (ℓ, t, q): t = log k, ℓ the smallest value ≥ max(2, log²k)
+    with q = ℓ + t + 1 prime (the paper fixes q = ℓ + t + 1 and adjusts
+    the constant in ℓ = c·log²k)."""
+    log_k = _check_power_of_two(k)
+    t = log_k
+    ell = max(2, log_k * log_k)
+    while not _is_prime(ell + t + 1):
+        ell += 1
+    return ell, t, ell + t + 1
+
+
+def _is_prime(n: int) -> bool:
+    from repro.codes.gf import is_prime
+
+    return is_prime(n)
+
+
+class WeightedApproxMaxISFamily(LowerBoundGraphFamily):
+    """Theorem 4.3 family: (7/8 + ε)-approximate weighted MaxIS."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.ell, self.t, self.q = choose_code_params(k)
+        self.field = PrimeField(self.q)
+        self.code = ReedSolomonCode(self.field, n=self.ell + self.t, k=self.t)
+        if self.code.size < k:
+            raise ValueError("code too small to name all rows")
+        self.codewords = [self.code.encode_int(i) for i in range(k)]
+        self.alpha_yes = 8 * self.ell + 4 * self.t
+        #: ceiling for DISJOINT inputs (attained when some x- or y-bit is 1)
+        self.alpha_no = 7 * self.ell + 4 * self.t
+
+    @property
+    def k_bits(self) -> int:
+        return self.k * self.k
+
+    @property
+    def n_coords(self) -> int:
+        return self.ell + self.t
+
+    # ------------------------------------------------------------------
+    def fixed_graph(self) -> Graph:
+        g = Graph()
+        k = self.k
+        for s in SETS:
+            g.add_clique([row(s, i) for i in range(k)])
+            for i in range(k):
+                g.set_vertex_weight(row(s, i), self.ell)
+            for j in range(self.n_coords):
+                col = [gadget(s, j, a) for a in range(self.q)]
+                g.add_clique(col)
+                for v in col:
+                    g.set_vertex_weight(v, 1)
+        # complete bipartite minus perfect matching between matching columns
+        for z in ("1", "2"):
+            a, b = "A" + z, "B" + z
+            for j in range(self.n_coords):
+                for alpha in range(self.q):
+                    for alpha2 in range(self.q):
+                        if alpha != alpha2:
+                            g.add_edge(gadget(a, j, alpha), gadget(b, j, alpha2))
+        # rows to everything except their own codeword
+        for s in SETS:
+            for i in range(k):
+                word = self.codewords[i]
+                for j in range(self.n_coords):
+                    for alpha in range(self.q):
+                        if alpha != word[j]:
+                            g.add_edge(row(s, i), gadget(s, j, alpha))
+        return g
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        if len(x) != self.k_bits or len(y) != self.k_bits:
+            raise ValueError("input length must be k^2")
+        g = self.fixed_graph()
+        k = self.k
+        for i in range(k):
+            for i2 in range(k):
+                if not x[i * k + i2]:
+                    g.add_edge(row("A1", i), row("A2", i2))
+                if not y[i * k + i2]:
+                    g.add_edge(row("B1", i), row("B2", i2))
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = set()
+        for s in ("A1", "A2"):
+            va.update(row(s, i) for i in range(self.k))
+            va.update(gadget(s, j, a) for j in range(self.n_coords)
+                      for a in range(self.q))
+        return va
+
+    # ------------------------------------------------------------------
+    # structured exact solver (Claim 4.1 + Lemma 4.1 decomposition)
+    # ------------------------------------------------------------------
+    def structured_max_weight(self, graph: Graph) -> int:
+        """Exact maximum weight of an independent set of a family graph.
+
+        Enumerates one-or-no row per clique; given the row choices the
+        gadget columns decompose independently, each contributing 2 if
+        the allowed symbol sets on the two sides intersect, else 1.
+        """
+        k = self.k
+        choices = list(range(k)) + [None]
+        best = 0
+        for ia1 in choices:
+            for ia2 in choices:
+                if ia1 is not None and ia2 is not None \
+                        and graph.has_edge(row("A1", ia1), row("A2", ia2)):
+                    continue
+                for ib1 in choices:
+                    for ib2 in choices:
+                        if ib1 is not None and ib2 is not None \
+                                and graph.has_edge(row("B1", ib1),
+                                                   row("B2", ib2)):
+                            continue
+                        val = self._value_for(ia1, ia2, ib1, ib2)
+                        if val > best:
+                            best = val
+        return best
+
+    def _value_for(self, ia1: Optional[int], ia2: Optional[int],
+                   ib1: Optional[int], ib2: Optional[int]) -> int:
+        rows_taken = sum(v is not None for v in (ia1, ia2, ib1, ib2))
+        total = self.ell * rows_taken
+        for a_row, b_row in ((ia1, ib1), (ia2, ib2)):
+            for j in range(self.n_coords):
+                a_sym = None if a_row is None else self.codewords[a_row][j]
+                b_sym = None if b_row is None else self.codewords[b_row][j]
+                if a_sym is None or b_sym is None or a_sym == b_sym:
+                    total += 2
+                else:
+                    total += 1
+        return total
+
+    def predicate(self, graph: Graph) -> bool:
+        """P: a weighted IS of weight 8ℓ + 4t exists (iff DISJ = FALSE)."""
+        return self.structured_max_weight(graph) >= self.alpha_yes
+
+    def gap_ratio(self) -> float:
+        """The inapproximability ratio (7ℓ+4t)/(8ℓ+4t) → 7/8."""
+        return self.alpha_no / self.alpha_yes
+
+
+class UnweightedApproxMaxISFamily(WeightedApproxMaxISFamily):
+    """Theorem 4.1: replace each row vertex by a batch of ℓ unit twins."""
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        weighted = super().build(x, y)
+        g = Graph()
+        k = self.k
+
+        def copies(v: Vertex) -> List[Vertex]:
+            if isinstance(v, tuple) and v[0] == "row":
+                return [batch_row(v[1], v[2], xi) for xi in range(self.ell)]
+            return [v]
+
+        for v in weighted.vertices():
+            for c in copies(v):
+                g.add_vertex(c, weight=1)
+        for u, v in weighted.edges():
+            for cu in copies(u):
+                for cv in copies(v):
+                    g.add_edge(cu, cv)
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = set()
+        for s in ("A1", "A2"):
+            va.update(batch_row(s, i, xi)
+                      for i in range(self.k) for xi in range(self.ell))
+            va.update(gadget(s, j, a) for j in range(self.n_coords)
+                      for a in range(self.q))
+        return va
+
+    def structured_max_weight(self, graph: Graph) -> int:
+        """Batches behave exactly like weight-ℓ vertices (all twins share
+        their neighbourhood), so the weighted enumeration carries over;
+        row-row adjacency is read off the batch representatives."""
+        k = self.k
+        choices = list(range(k)) + [None]
+        best = 0
+        for ia1 in choices:
+            for ia2 in choices:
+                if ia1 is not None and ia2 is not None and graph.has_edge(
+                        batch_row("A1", ia1, 0), batch_row("A2", ia2, 0)):
+                    continue
+                for ib1 in choices:
+                    for ib2 in choices:
+                        if ib1 is not None and ib2 is not None \
+                                and graph.has_edge(batch_row("B1", ib1, 0),
+                                                   batch_row("B2", ib2, 0)):
+                            continue
+                        val = self._value_for(ia1, ia2, ib1, ib2)
+                        if val > best:
+                            best = val
+        return best
+
+
+class LinearApproxMaxISFamily(LowerBoundGraphFamily):
+    """Theorem 4.2: a (5/6 + ε) gap already at Ω̃(n), from DISJ_k.
+
+    Only the A2/B2 sides and their code gadgets remain; batches
+    batch(v_A), batch(v_B) connect to a^i_2 / b^i_2 iff x_i = 0 / y_i = 0.
+    Max IS = 6ℓ + 2t iff DISJ_k(x, y) = FALSE, else ≤ 5ℓ + 2t.
+    """
+
+    V_A = "vA"
+    V_B = "vB"
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.ell, self.t, self.q = choose_code_params(k)
+        self.field = PrimeField(self.q)
+        self.code = ReedSolomonCode(self.field, n=self.ell + self.t, k=self.t)
+        self.codewords = [self.code.encode_int(i) for i in range(k)]
+        self.alpha_yes = 6 * self.ell + 2 * self.t
+        #: ceiling for DISJOINT inputs
+        self.alpha_no = 5 * self.ell + 2 * self.t
+
+    @property
+    def k_bits(self) -> int:
+        return self.k
+
+    @property
+    def n_coords(self) -> int:
+        return self.ell + self.t
+
+    def _batch(self, tag: str) -> List[Vertex]:
+        return [("batch", tag, xi) for xi in range(self.ell)]
+
+    def fixed_graph(self) -> Graph:
+        g = Graph()
+        k = self.k
+        for s in ("A2", "B2"):
+            g.add_clique([row(s, i) for i in range(k)])
+            for i in range(k):
+                g.set_vertex_weight(row(s, i), self.ell)
+            for j in range(self.n_coords):
+                col = [gadget(s, j, a) for a in range(self.q)]
+                g.add_clique(col)
+                for v in col:
+                    g.set_vertex_weight(v, 1)
+            for i in range(k):
+                word = self.codewords[i]
+                for j in range(self.n_coords):
+                    for alpha in range(self.q):
+                        if alpha != word[j]:
+                            g.add_edge(row(s, i), gadget(s, j, alpha))
+        for j in range(self.n_coords):
+            for alpha in range(self.q):
+                for alpha2 in range(self.q):
+                    if alpha != alpha2:
+                        g.add_edge(gadget("A2", j, alpha),
+                                   gadget("B2", j, alpha2))
+        for v in self._batch(self.V_A) + self._batch(self.V_B):
+            g.add_vertex(v, weight=1)
+        return g
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        if len(x) != self.k or len(y) != self.k:
+            raise ValueError("input length must be k")
+        g = self.fixed_graph()
+        for i in range(self.k):
+            if not x[i]:
+                for v in self._batch(self.V_A):
+                    g.add_edge(v, row("A2", i))
+            if not y[i]:
+                for v in self._batch(self.V_B):
+                    g.add_edge(v, row("B2", i))
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = set(self._batch(self.V_A))
+        va.update(row("A2", i) for i in range(self.k))
+        va.update(gadget("A2", j, a) for j in range(self.n_coords)
+                  for a in range(self.q))
+        return va
+
+    def structured_max_weight(self, graph: Graph) -> int:
+        choices = list(range(self.k)) + [None]
+        best = 0
+        for ia in choices:
+            for take_va in (False, True):
+                if take_va and ia is not None and graph.has_edge(
+                        ("batch", self.V_A, 0), row("A2", ia)):
+                    continue
+                for ib in choices:
+                    for take_vb in (False, True):
+                        if take_vb and ib is not None and graph.has_edge(
+                                ("batch", self.V_B, 0), row("B2", ib)):
+                            continue
+                        val = self.ell * (int(take_va) + int(take_vb)
+                                          + (ia is not None)
+                                          + (ib is not None))
+                        for j in range(self.n_coords):
+                            a_sym = None if ia is None else self.codewords[ia][j]
+                            b_sym = None if ib is None else self.codewords[ib][j]
+                            if a_sym is None or b_sym is None or a_sym == b_sym:
+                                val += 2
+                            else:
+                                val += 1
+                        best = max(best, val)
+        return best
+
+    def predicate(self, graph: Graph) -> bool:
+        """P: an IS of weight 6ℓ + 2t exists (iff DISJ_k = FALSE)."""
+        return self.structured_max_weight(graph) >= self.alpha_yes
+
+    def gap_ratio(self) -> float:
+        return self.alpha_no / self.alpha_yes

@@ -1,0 +1,284 @@
+"""Section 3: lower bounds in bounded-degree graphs (Theorems 3.1-3.4).
+
+The chain of (non-distributed) reductions of Section 3.1, applied to the
+CKP-style MaxIS family:
+
+  G  →  φ        (Claim 3.1:      f(φ) = α(G) + |E|)
+  φ  →  φ′       (Corollary 3.1:  f(φ′) = f(φ) + m_exp, every variable in
+                  O(1) clauses, via the Claim 3.2 expander gadgets)
+  φ′ →  G′       (Claim 3.4:      α(G′) = f(φ′), maximum degree ≤ 5)
+
+so α(G′) = α(G) + |E(G)| + m_exp, G′ has maximum degree 5 and — when G
+has constant diameter — logarithmic diameter (Claim 3.5).
+
+Unlike the Section 2 constructions, G′'s vertex set varies with the
+inputs (degrees determine gadget sizes), so Section 3 does not go
+through Theorem 1.1: Claim 3.6 has Alice and Bob simulate the algorithm
+on G′ directly and additionally exchange m_G and m_exp.  That protocol
+is implemented in :mod:`repro.limits.protocols`
+(``solve_disjointness_via_bounded_degree_maxis``).
+
+Theorem 3.3's MVC → MDS edge-vertex reduction and a verified MVC →
+weighted 2-spanner reduction (Theorem 3.4; see DESIGN.md on the [9]
+substitution) are also here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.mvc import MvcMaxISFamily
+from repro.expanders.gadget import ExpanderGadget, build_gadget
+from repro.formulas.cnf import CNF, Literal, neg, pos
+from repro.graphs import Graph, Vertex
+
+
+# ----------------------------------------------------------------------
+# G → φ (Claim 3.1)
+# ----------------------------------------------------------------------
+def graph_to_formula(graph: Graph) -> CNF:
+    """φ: a variable and unit clause per vertex, (¬x_u ∨ ¬x_v) per edge.
+
+    f(φ) = α(G) + |E| (Claim 3.1)."""
+    cnf = CNF()
+    for v in graph.vertices():
+        cnf.add_clause(pos(("v", v)))
+    for u, v in graph.edges():
+        cnf.add_clause(neg(("v", u)), neg(("v", v)))
+    return cnf
+
+
+# ----------------------------------------------------------------------
+# φ → φ′ (Claim 3.3 / Corollary 3.1)
+# ----------------------------------------------------------------------
+_GADGET_CACHE: Dict[Tuple[int, int], ExpanderGadget] = {}
+
+
+def _cached_gadget(d: int, seed: int) -> ExpanderGadget:
+    """Gadgets are deterministic in (d, seed) and read-only, so they are
+    shared across variables and across builds (the flow verification of
+    Claim 3.2 is the expensive part)."""
+    key = (d, seed)
+    if key not in _GADGET_CACHE:
+        _GADGET_CACHE[key] = build_gadget(d, seed=seed)
+    return _GADGET_CACHE[key]
+
+
+@dataclass
+class ExpandedFormula:
+    cnf: CNF
+    n_expander_clauses: int
+    gadgets: Dict[Hashable, ExpanderGadget] = field(repr=False,
+                                                    default_factory=dict)
+
+
+def expand_formula(cnf: CNF, seed: int = 0) -> ExpandedFormula:
+    """φ′: replace each variable's occurrences by fresh copies tied
+    together with expander equality clauses (Section 3.1).
+
+    Every variable of φ′ appears in O(1) clauses and each literal at most
+    4 times; f(φ′) = f(φ) + m_exp (Corollary 3.1)."""
+    occurrences: Dict[Hashable, int] = {}
+    for clause in cnf.clauses:
+        for var, __ in clause:
+            occurrences[var] = occurrences.get(var, 0) + 1
+
+    gadgets: Dict[Hashable, ExpanderGadget] = {}
+    for var, d in occurrences.items():
+        gadgets[var] = _cached_gadget(d, seed)
+
+    def copy_var(var: Hashable, gadget_vertex: Vertex) -> Hashable:
+        return ("occ", var, gadget_vertex)
+
+    new = CNF()
+    seen_so_far: Dict[Hashable, int] = {}
+    for clause in cnf.clauses:
+        lits: List[Literal] = []
+        for var, polarity in clause:
+            slot = seen_so_far.get(var, 0)
+            seen_so_far[var] = slot + 1
+            dv = gadgets[var].distinguished[slot]
+            lits.append((copy_var(var, dv), polarity))
+        new.add_clause(*lits)
+
+    m_exp = 0
+    for var, gadget in gadgets.items():
+        for u, v in gadget.graph.edges():
+            cu, cv = copy_var(var, u), copy_var(var, v)
+            new.add_clause(neg(cu), pos(cv))
+            new.add_clause(neg(cv), pos(cu))
+            m_exp += 2
+    return ExpandedFormula(cnf=new, n_expander_clauses=m_exp, gadgets=gadgets)
+
+
+# ----------------------------------------------------------------------
+# φ′ → G′ (Claim 3.4)
+# ----------------------------------------------------------------------
+def formula_to_graph(cnf: CNF) -> Graph:
+    """G′: a vertex per literal occurrence, clause edges between the two
+    vertices of a 2-clause, conflict edges between every occurrence of x
+    and every occurrence of ¬x.  α(G′) = f(φ′) (Claim 3.4)."""
+    g = Graph()
+    by_literal: Dict[Literal, List[Vertex]] = {}
+    for c_idx, clause in enumerate(cnf.clauses):
+        if len(clause) > 2:
+            raise ValueError("formula_to_graph expects a (max-)2SAT formula")
+        vertices = []
+        for pos_idx, literal in enumerate(clause):
+            v = ("cl", c_idx, pos_idx, literal)
+            g.add_vertex(v)
+            by_literal.setdefault(literal, []).append(v)
+            vertices.append(v)
+        if len(vertices) == 2:
+            g.add_edge(vertices[0], vertices[1])
+    for (var, polarity), verts in by_literal.items():
+        opposite = by_literal.get((var, not polarity), [])
+        for u in verts:
+            for w in opposite:
+                if not g.has_edge(u, w):
+                    g.add_edge(u, w)
+    return g
+
+
+# ----------------------------------------------------------------------
+# the full chain on the base family
+# ----------------------------------------------------------------------
+@dataclass
+class BoundedDegreeInstance:
+    """Everything produced by the Section 3 chain for one input pair."""
+
+    base_graph: Graph
+    formula: CNF
+    expanded: ExpandedFormula
+    graph: Graph                      # G′, max degree ≤ 5
+    m_base_edges: int                 # m_G (Alice+Bob can compute jointly)
+    alice_vertices: Set[Vertex] = field(repr=False, default_factory=set)
+
+    @property
+    def m_expander_clauses(self) -> int:
+        return self.expanded.n_expander_clauses
+
+    def alpha_offset(self) -> int:
+        """α(G′) − α(G) = m_G + m_exp (Claims 3.1 + 3.4, Corollary 3.1)."""
+        return self.m_base_edges + self.m_expander_clauses
+
+
+class BoundedDegreeMaxIS:
+    """The Section 3.2 construction over the CKP-style base family.
+
+    Not a Definition 1.1 family (the vertex set varies with the inputs);
+    the lower bound goes through the Claim 3.6 simulation instead, in
+    which Alice and Bob also exchange m_G and m_exp.
+    """
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        self.base = MvcMaxISFamily(k)
+        self.seed = seed
+
+    @property
+    def k_bits(self) -> int:
+        return self.base.k_bits
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> BoundedDegreeInstance:
+        g = self.base.build(x, y)
+        phi = graph_to_formula(g)
+        expanded = expand_formula(phi, seed=self.seed)
+        gprime = formula_to_graph(expanded.cnf)
+        va = self.base.alice_vertices()
+
+        def side_of(vertex: Vertex) -> bool:
+            # ("cl", c, pos, ((tag...), polarity)) — find the base vertex
+            literal = vertex[3]
+            var = literal[0]
+            # var is ("occ", ("v", base_vertex), gadget_vertex)
+            base_vertex = var[1][1]
+            return base_vertex in va
+
+        alice = {v for v in gprime.vertices() if side_of(v)}
+        return BoundedDegreeInstance(
+            base_graph=g, formula=phi, expanded=expanded, graph=gprime,
+            m_base_edges=g.m, alice_vertices=alice)
+
+    def alpha_target(self, instance: BoundedDegreeInstance) -> int:
+        """α(G′) value iff DISJ = FALSE (else it is one lower)."""
+        return self.base.alpha_yes + instance.alpha_offset()
+
+    def witness_independent_set(self, instance: BoundedDegreeInstance,
+                                x: Sequence[int], y: Sequence[int],
+                                ) -> List[Vertex]:
+        """For intersecting inputs, the explicit IS of G′ with
+        α(G) + m_G + m_exp vertices (the constructive composition of
+        Claims 3.1, 3.3 and 3.4).
+
+        The base witness becomes an assignment π (x_v true iff v is in
+        the base IS); π extends to all occurrence copies uniformly, which
+        satisfies every expander clause, every edge clause, and α vertex
+        clauses; picking one satisfied-literal vertex per satisfied
+        clause yields the independent set.
+        """
+        base_is = set(self.base.witness_independent_set(x, y))
+
+        def truth(literal) -> bool:
+            var, polarity = literal
+            base_vertex = var[1][1]  # ("occ", ("v", w), gadget_vertex)
+            return (base_vertex in base_is) == polarity
+
+        chosen: List[Vertex] = []
+        for c_idx, clause in enumerate(instance.expanded.cnf.clauses):
+            for pos_idx, literal in enumerate(clause):
+                if truth(literal):
+                    chosen.append(("cl", c_idx, pos_idx, literal))
+                    break
+        return chosen
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.3: MVC → MDS, degree- and diameter-preserving
+# ----------------------------------------------------------------------
+def mvc_to_mds_graph(graph: Graph) -> Graph:
+    """Add an edge-vertex v_e adjacent to both endpoints of each edge.
+
+    MDS(G') = MVC(G); degrees at most double and new vertices have
+    degree 2, so bounded degree is preserved (proof of Theorem 3.3).
+    Requires minimum degree 1 (an isolated vertex must join any
+    dominating set but no vertex cover; the Section 3 instances are
+    connected)."""
+    if any(graph.degree(v) == 0 for v in graph.vertices()):
+        raise ValueError("reduction requires minimum degree 1")
+    g = graph.copy()
+    for u, v in graph.edges():
+        ev = ("edge", frozenset((u, v)))
+        g.add_edge(ev, u)
+        g.add_edge(ev, v)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.4: MVC → weighted 2-spanner (verified substitution for [9])
+# ----------------------------------------------------------------------
+def mvc_to_two_spanner_graph(graph: Graph) -> Graph:
+    """A weighted graph H with min-2-spanner cost = MVC(G).
+
+    H = G's vertices plus a hub r and an edge-vertex w_e per edge:
+    weight-0 edges (u,v), (w_e,u), (w_e,v); weight-1 edges (r,v); weight-3
+    edges (r,w_e).  Spanning (r, w_e) needs an endpoint of e bought at r,
+    and spanning (r, v) needs v or a neighbour bought — exactly vertex
+    cover (see DESIGN.md: this reduction is equivalence-exact but, unlike
+    [9]'s gadget, not degree/cut-preserving; it serves the sequential
+    verification of the theorem's reduction step).
+
+    Requires G without isolated vertices.
+    """
+    if any(graph.degree(v) == 0 for v in graph.vertices()):
+        raise ValueError("reduction requires minimum degree 1")
+    h = Graph()
+    for u, v in graph.edges():
+        w_e = ("edge", frozenset((u, v)))
+        h.add_edge(u, v, weight=0)
+        h.add_edge(w_e, u, weight=0)
+        h.add_edge(w_e, v, weight=0)
+        h.add_edge("hub", w_e, weight=3)
+    for v in graph.vertices():
+        h.add_edge("hub", v, weight=1)
+    return h

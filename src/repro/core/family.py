@@ -1,0 +1,229 @@
+"""Families of lower bound graphs (Definition 1.1) and Theorem 1.1.
+
+A family is, for fixed K and n, a map (x, y) ↦ G_{x,y} over a *fixed*
+vertex set with a *fixed* partition (VA, VB) such that
+
+1. only G[VA] (edges/weights inside VA) depends on x,
+2. only G[VB] depends on y,
+3. the cut edge set E(VA, VB) is the same for all inputs, and
+4. G_{x,y} satisfies the predicate P iff f(x, y) = TRUE.
+
+Theorem 1.1 then gives a CONGEST round lower bound of
+Ω(CC(f) / (|Ecut| · log n)) for deciding P.
+
+:func:`validate_family` machine-checks items 1-3 on sampled inputs and
+:func:`verify_iff` checks item 4 with an exact predicate decision.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.cc.functions import CCFunction, DISJ, random_input_pairs
+from repro.graphs import DiGraph, Graph, Vertex
+
+Bits = Tuple[int, ...]
+AnyGraph = Union[Graph, DiGraph]
+
+
+class FamilyValidationError(AssertionError):
+    """A Definition 1.1 requirement failed on concrete inputs."""
+
+
+class LowerBoundGraphFamily(ABC):
+    """Abstract base for every construction in the paper.
+
+    Subclasses fix K (``k_bits``), the reduced-from function
+    (``function``, usually DISJ), the partition, the builder, and an
+    exact predicate decision procedure.
+    """
+
+    #: the two-party function reduced from (Definition 1.1's f)
+    function: CCFunction = DISJ
+
+    @property
+    @abstractmethod
+    def k_bits(self) -> int:
+        """Input length K of each player's bit string."""
+
+    @abstractmethod
+    def build(self, x: Sequence[int], y: Sequence[int]) -> AnyGraph:
+        """Construct G_{x,y}."""
+
+    @abstractmethod
+    def alice_vertices(self) -> Set[Vertex]:
+        """The fixed part VA simulated by Alice."""
+
+    @abstractmethod
+    def predicate(self, graph: AnyGraph) -> bool:
+        """Decide P on a graph of this family, exactly."""
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def bob_vertices(self) -> Set[Vertex]:
+        g = self.build(self.zero_input(), self.zero_input())
+        return set(g.vertices()) - self.alice_vertices()
+
+    def zero_input(self) -> Bits:
+        return tuple([0] * self.k_bits)
+
+    def cut_edges(self, graph: Optional[AnyGraph] = None) -> List[Tuple[Vertex, Vertex]]:
+        if graph is None:
+            graph = self.build(self.zero_input(), self.zero_input())
+        va = self.alice_vertices()
+        edges = graph.edges() if isinstance(graph, Graph) else list(graph.edges())
+        return [(u, v) for u, v in edges if (u in va) != (v in va)]
+
+    def n_vertices(self) -> int:
+        return self.build(self.zero_input(), self.zero_input()).n
+
+    def describe(self) -> Dict[str, Any]:
+        g = self.build(self.zero_input(), self.zero_input())
+        return {
+            "family": type(self).__name__,
+            "K": self.k_bits,
+            "n": g.n,
+            "m": g.m,
+            "ecut": len(self.cut_edges(g)),
+            "function": self.function.name,
+            "implied_bound": theorem_1_1_bound(self),
+        }
+
+
+def theorem_1_1_bound(family: LowerBoundGraphFamily) -> float:
+    """Evaluate Ω(CC(f)/(|Ecut| log n)) for a family instance (the
+    constant-free value of the Theorem 1.1 round lower bound)."""
+    n = family.n_vertices()
+    ecut = len(family.cut_edges())
+    cc = family.function.cc(family.k_bits)
+    return cc / (ecut * math.log2(max(2, n)))
+
+
+# ----------------------------------------------------------------------
+# structural comparison helpers
+# ----------------------------------------------------------------------
+def _edge_key(u: Vertex, v: Vertex) -> FrozenSet:
+    return frozenset((u, v))
+
+
+def _signature(graph: AnyGraph, inside: Set[Vertex]) -> Dict[Any, float]:
+    """Weighted edge multiset of G[inside] plus vertex weights of inside."""
+    sig: Dict[Any, float] = {}
+    if isinstance(graph, DiGraph):
+        for u, v in graph.edges():
+            if u in inside and v in inside:
+                sig[("e", u, v)] = graph.edge_weight(u, v)
+    else:
+        for u, v in graph.edges():
+            if u in inside and v in inside:
+                sig[("e", _edge_key(u, v))] = graph.edge_weight(u, v)
+    for v in inside:
+        sig[("w", v)] = graph.vertex_weight(v)
+    return sig
+
+
+def _cut_signature(graph: AnyGraph, va: Set[Vertex]) -> Dict[Any, float]:
+    sig: Dict[Any, float] = {}
+    if isinstance(graph, DiGraph):
+        for u, v in graph.edges():
+            if (u in va) != (v in va):
+                sig[("e", u, v)] = graph.edge_weight(u, v)
+    else:
+        for u, v in graph.edges():
+            if (u in va) != (v in va):
+                sig[("e", _edge_key(u, v))] = graph.edge_weight(u, v)
+    return sig
+
+
+def validate_family(
+    family: LowerBoundGraphFamily,
+    input_pairs: Optional[Sequence[Tuple[Bits, Bits]]] = None,
+    rng: Optional[random.Random] = None,
+    samples: int = 6,
+) -> None:
+    """Machine-check Definition 1.1's structural requirements (items 1-3).
+
+    For sampled inputs: the vertex set is fixed; G[VA] is identical for
+    equal x (any y); G[VB] is identical for equal y (any x); and the cut
+    (with weights) is identical for all inputs.  Raises
+    :class:`FamilyValidationError` on violation.
+    """
+    rng = rng or random.Random(0xC0FFEE)
+    if input_pairs is None:
+        input_pairs = random_input_pairs(family.k_bits, samples, rng)
+    xs = [p[0] for p in input_pairs]
+    ys = [p[1] for p in input_pairs]
+
+    va = family.alice_vertices()
+    base = family.build(xs[0], ys[0])
+    vertex_set = set(base.vertices())
+    vb = vertex_set - va
+    if not va <= vertex_set:
+        raise FamilyValidationError("VA is not a subset of the vertex set")
+    cut_sig = _cut_signature(base, va)
+
+    for x in xs[:3]:
+        sigs = {frozenset(_signature(family.build(x, y), va).items())
+                for y in ys}
+        if len(sigs) != 1:
+            raise FamilyValidationError("G[VA] depends on y")
+    for y in ys[:3]:
+        sigs = {frozenset(_signature(family.build(x, y), vb).items())
+                for x in xs}
+        if len(sigs) != 1:
+            raise FamilyValidationError("G[VB] depends on x")
+    for x, y in zip(xs, ys):
+        g = family.build(x, y)
+        if set(g.vertices()) != vertex_set:
+            raise FamilyValidationError("vertex set varies with the input")
+        if _cut_signature(g, va) != cut_sig:
+            raise FamilyValidationError("Ecut varies with the input")
+
+
+@dataclass
+class IffReport:
+    """Outcome of a predicate ⇔ f sweep."""
+
+    checked: int
+    true_instances: int
+    false_instances: int
+
+    def __str__(self) -> str:
+        return (f"{self.checked} input pairs checked "
+                f"({self.true_instances} TRUE / {self.false_instances} FALSE)")
+
+
+def verify_iff(
+    family: LowerBoundGraphFamily,
+    input_pairs: Sequence[Tuple[Bits, Bits]],
+    negate: bool = False,
+) -> IffReport:
+    """Check item 4 of Definition 1.1: P(G_{x,y}) ⇔ f(x, y).
+
+    Most constructions in the paper satisfy P iff DISJ = FALSE; they pass
+    ``negate=True`` (the predicate then tracks ¬f, which is the same
+    family up to renaming the predicate).
+    """
+    true_count = 0
+    false_count = 0
+    for x, y in input_pairs:
+        expected = family.function(x, y)
+        if negate:
+            expected = not expected
+        actual = family.predicate(family.build(x, y))
+        if actual != expected:
+            raise FamilyValidationError(
+                f"predicate mismatch on x={x}, y={y}: "
+                f"predicate={actual}, expected={expected}")
+        if expected:
+            true_count += 1
+        else:
+            false_count += 1
+    return IffReport(checked=len(input_pairs),
+                     true_instances=true_count,
+                     false_instances=false_count)

@@ -1,0 +1,205 @@
+"""The Figure 3 family: weighted max-cut (Theorem 2.8, Claims 2.9-2.12).
+
+Construction (Section 2.4.1).  k a power of two; K = k².  Rows A1, A2,
+B1, B2 of k vertices; per set S and bit h, vertices f^h_S and t^h_S (no u
+vertices here); special vertices CA, C̄A, CB, NA, NB.
+
+Heavy edges (weight k⁴): (CA, NA), (CB, NB), (CA, C̄A), (C̄A, CB) and,
+for each z ∈ {1,2}, h, the 4-cycle (t^h_{Az}, f^h_{Az}, t^h_{Bz},
+f^h_{Bz}).  Row s^j connects to Bin(s^j) = {t^h : j_h = 1} ∪
+{f^h : j_h = 0} with weight 2k², and to its C-vertex with weight
+2k²·log k − k².  Rows also connect to their N-vertex with
+input-dependent weight: w(a^i_1, NA) = Σ_j x_{i,j}, w(a^i_2, NA) =
+Σ_j x_{j,i} (similarly for B with y).  Input edges of weight 1 join
+a^i_1 to a^j_2 iff x_{i,j} = 0 (and b-rows via y) — so every row's total
+weight towards its opposite row-set plus its N-vertex is exactly k.
+
+Lemma 2.4: max-cut weight ≥ M iff DISJ(x, y) = FALSE, where
+M = k⁴(8·log k + 4) + k³(12·log k − 4) + 4k² + 4k.  n = Θ(k),
+|Ecut| = Θ(log k); Theorem 1.1 gives Ω(n²/log² n) (Theorem 2.8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.family import LowerBoundGraphFamily
+from repro.core.mds import _check_power_of_two
+from repro.graphs import Graph, Vertex
+from repro.solvers.maxcut import cut_weight, max_cut
+
+SETS = ("A1", "A2", "B1", "B2")
+CA = ("special", "CA")
+CA_BAR = ("special", "CA_bar")
+CB = ("special", "CB")
+NA = ("special", "NA")
+NB = ("special", "NB")
+
+
+def row(set_name: str, j: int) -> Vertex:
+    return ("row", set_name, j)
+
+
+def fvert(set_name: str, h: int) -> Vertex:
+    return ("f", set_name, h)
+
+
+def tvert(set_name: str, h: int) -> Vertex:
+    return ("t", set_name, h)
+
+
+def bin_vertices(set_name: str, j: int, log_k: int) -> List[Vertex]:
+    """Bin(s^j): t^h for one bits of j, f^h for zero bits."""
+    return [tvert(set_name, h) if (j >> h) & 1 else fvert(set_name, h)
+            for h in range(log_k)]
+
+
+class MaxCutFamily(LowerBoundGraphFamily):
+    """Figure 3 / Theorem 2.8 family for exact weighted max-cut."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.log_k = _check_power_of_two(k)
+
+    @property
+    def k_bits(self) -> int:
+        return self.k * self.k
+
+    @property
+    def heavy(self) -> int:
+        return self.k ** 4
+
+    @property
+    def target_weight(self) -> int:
+        """M of Theorem 2.8."""
+        k, log_k = self.k, self.log_k
+        return (k ** 4 * (8 * log_k + 4) + k ** 3 * (12 * log_k - 4)
+                + 4 * k ** 2 + 4 * k)
+
+    @property
+    def fixed_cut_part(self) -> int:
+        """M' of Claim 2.12 (cut weight outside the row/N edges)."""
+        return self.target_weight - 4 * self.k
+
+    # ------------------------------------------------------------------
+    def fixed_graph(self) -> Graph:
+        g = Graph()
+        k, log_k = self.k, self.log_k
+        heavy = self.heavy
+        for s in SETS:
+            g.add_vertices(row(s, j) for j in range(k))
+            g.add_vertices(fvert(s, h) for h in range(log_k))
+            g.add_vertices(tvert(s, h) for h in range(log_k))
+        g.add_vertices([CA, CA_BAR, CB, NA, NB])
+        g.add_edge(CA, NA, weight=heavy)
+        g.add_edge(CB, NB, weight=heavy)
+        g.add_edge(CA, CA_BAR, weight=heavy)
+        g.add_edge(CA_BAR, CB, weight=heavy)
+        for z in ("1", "2"):
+            a, b = "A" + z, "B" + z
+            for h in range(log_k):
+                cyc = [tvert(a, h), fvert(a, h), tvert(b, h), fvert(b, h)]
+                for i in range(4):
+                    g.add_edge(cyc[i], cyc[(i + 1) % 4], weight=heavy)
+        for s in SETS:
+            cvert = CA if s.startswith("A") else CB
+            for j in range(k):
+                for v in bin_vertices(s, j, log_k):
+                    g.add_edge(row(s, j), v, weight=2 * k * k)
+                g.add_edge(row(s, j), cvert,
+                           weight=2 * k * k * log_k - k * k)
+        return g
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        if len(x) != self.k_bits or len(y) != self.k_bits:
+            raise ValueError("input length must be k^2")
+        g = self.fixed_graph()
+        k = self.k
+        for i in range(k):
+            for j in range(k):
+                if not x[i * k + j]:
+                    g.add_edge(row("A1", i), row("A2", j), weight=1)
+                if not y[i * k + j]:
+                    g.add_edge(row("B1", i), row("B2", j), weight=1)
+        for i in range(k):
+            g.add_edge(row("A1", i), NA,
+                       weight=sum(x[i * k + j] for j in range(k)))
+            g.add_edge(row("A2", i), NA,
+                       weight=sum(x[j * k + i] for j in range(k)))
+            g.add_edge(row("B1", i), NB,
+                       weight=sum(y[i * k + j] for j in range(k)))
+            g.add_edge(row("B2", i), NB,
+                       weight=sum(y[j * k + i] for j in range(k)))
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = {CA, CA_BAR, NA}
+        for s in ("A1", "A2"):
+            va.update(row(s, j) for j in range(self.k))
+            va.update(fvert(s, h) for h in range(self.log_k))
+            va.update(tvert(s, h) for h in range(self.log_k))
+        return va
+
+    def predicate(self, graph: Graph) -> bool:
+        """P: a cut of weight ≥ M exists (iff DISJ(x, y) = FALSE).
+
+        Exact; limited to k = 2 instances (n = 21) by the solver."""
+        value, __ = max_cut(graph)
+        return value >= self.target_weight
+
+    # ------------------------------------------------------------------
+    def witness_side(self, x: Sequence[int], y: Sequence[int]) -> List[Vertex]:
+        """The constructive half of Lemma 2.4: for intersecting inputs, an
+        explicit S with cut weight ≥ M (checked)."""
+        k, log_k = self.k, self.log_k
+        idx = next(p for p in range(k * k) if x[p] == 1 and y[p] == 1)
+        j1, j2 = divmod(idx, k)
+        side: List[Vertex] = [row("A1", j1), row("B1", j1),
+                              row("A2", j2), row("B2", j2), CA, CB]
+        for s, j in (("A1", j1), ("B1", j1), ("A2", j2), ("B2", j2)):
+            chosen = set(bin_vertices(s, j, log_k))
+            for h in range(log_k):
+                for v in (fvert(s, h), tvert(s, h)):
+                    if v not in chosen:
+                        side.append(v)
+        graph = self.build(x, y)
+        weight = cut_weight(graph, side)
+        assert weight >= self.target_weight, (weight, self.target_weight)
+        return side
+
+    def structural_claims_hold(self, side: Sequence[Vertex],
+                               graph: Graph) -> bool:
+        """Check Claims 2.9-2.11 on a (claimed optimal) cut side S.
+
+        Normalizes so CA ∈ S, then checks the special-vertex placement,
+        the f/t consistency across the cut gadget, the row/Bin coupling,
+        and the unique-selected-row property.
+        """
+        s: Set[Vertex] = set(side)
+        if CA not in s:
+            s = set(graph.vertices()) - s
+        # Claim 2.9
+        if CB not in s or s & {NA, NB, CA_BAR}:
+            return False
+        for z in ("1", "2"):
+            for h in range(self.log_k):
+                t_a, f_a = tvert("A" + z, h) in s, fvert("A" + z, h) in s
+                t_b, f_b = tvert("B" + z, h) in s, fvert("B" + z, h) in s
+                if not (t_a == t_b and f_a == f_b and t_a != f_a):
+                    return False
+        # Claims 2.10 / 2.11
+        for z in ("1", "2"):
+            selected_a = []
+            for j in range(self.k):
+                in_s = row("A" + z, j) in s
+                bin_hit = bool(set(bin_vertices("A" + z, j, self.log_k)) & s)
+                if in_s == bin_hit:
+                    return False
+                if in_s != (row("B" + z, j) in s):
+                    return False
+                if in_s:
+                    selected_a.append(j)
+            if len(selected_a) != 1:
+                return False
+        return True

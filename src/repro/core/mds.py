@@ -1,0 +1,152 @@
+"""The Figure 1 family: minimum dominating set (Theorem 2.1, Lemma 2.1).
+
+Construction (Section 2.1).  k a power of two; K = k².  Four rows of k
+vertices A1, A2, B1, B2.  For each row-set S and bit position
+h ∈ [log k], three bit-gadget vertices f^h_S, t^h_S, u^h_S; for each
+side-index ℓ ∈ {1,2} and h, the 6-cycle
+(f^h_{Aℓ}, t^h_{Aℓ}, u^h_{Aℓ}, f^h_{Bℓ}, t^h_{Bℓ}, u^h_{Bℓ}).  Row vertex
+s^i is adjacent to bin(s^i) = {f^h : i_h = 0} ∪ {t^h : i_h = 1} of its own
+set.  Input edges: (a^i_1, a^j_2) iff x_{i,j} = 1 and (b^i_1, b^j_2) iff
+y_{i,j} = 1.
+
+Lemma 2.1: G_{x,y} has a dominating set of size 4·log k + 2 iff
+DISJ(x, y) = FALSE.  n = Θ(k), |Ecut| = Θ(log k), so Theorem 1.1 yields
+Ω(n² / log² n) rounds for exact MDS (Theorem 2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.family import LowerBoundGraphFamily
+from repro.graphs import Graph, Vertex
+from repro.solvers.dominating import has_dominating_set_of_size, is_dominating_set
+
+SETS = ("A1", "A2", "B1", "B2")
+
+
+def _check_power_of_two(k: int) -> int:
+    if k < 2 or k & (k - 1):
+        raise ValueError(f"k must be a power of two >= 2, got {k}")
+    return k.bit_length() - 1
+
+
+def row(set_name: str, i: int) -> Vertex:
+    return ("row", set_name, i)
+
+
+def fvert(set_name: str, h: int) -> Vertex:
+    return ("f", set_name, h)
+
+
+def tvert(set_name: str, h: int) -> Vertex:
+    return ("t", set_name, h)
+
+
+def uvert(set_name: str, h: int) -> Vertex:
+    return ("u", set_name, h)
+
+
+def bin_set(set_name: str, i: int, log_k: int) -> List[Vertex]:
+    """bin(s^i): f^h for zero bits of i, t^h for one bits."""
+    out = []
+    for h in range(log_k):
+        if (i >> h) & 1:
+            out.append(tvert(set_name, h))
+        else:
+            out.append(fvert(set_name, h))
+    return out
+
+
+def cobin_set(set_name: str, i: int, log_k: int) -> List[Vertex]:
+    """The complement coding bin̄(s^i): f^h for one bits, t^h for zero bits."""
+    out = []
+    for h in range(log_k):
+        if (i >> h) & 1:
+            out.append(fvert(set_name, h))
+        else:
+            out.append(tvert(set_name, h))
+    return out
+
+
+class MdsFamily(LowerBoundGraphFamily):
+    """Figure 1 / Theorem 2.1 lower-bound family for exact MDS."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.log_k = _check_power_of_two(k)
+        self.target_size = 4 * self.log_k + 2
+
+    @property
+    def k_bits(self) -> int:
+        return self.k * self.k
+
+    # ------------------------------------------------------------------
+    def fixed_graph(self) -> Graph:
+        g = Graph()
+        k, log_k = self.k, self.log_k
+        for s in SETS:
+            g.add_vertices(row(s, i) for i in range(k))
+            g.add_vertices(fvert(s, h) for h in range(log_k))
+            g.add_vertices(tvert(s, h) for h in range(log_k))
+            g.add_vertices(uvert(s, h) for h in range(log_k))
+        # 6-cycles per (ℓ, h)
+        for ell in ("1", "2"):
+            a, b = "A" + ell, "B" + ell
+            for h in range(log_k):
+                cycle = [fvert(a, h), tvert(a, h), uvert(a, h),
+                         fvert(b, h), tvert(b, h), uvert(b, h)]
+                for i in range(6):
+                    g.add_edge(cycle[i], cycle[(i + 1) % 6])
+        # binary-coding edges
+        for s in SETS:
+            for i in range(k):
+                for v in bin_set(s, i, log_k):
+                    g.add_edge(row(s, i), v)
+        return g
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        if len(x) != self.k_bits or len(y) != self.k_bits:
+            raise ValueError("input length must be k^2")
+        g = self.fixed_graph()
+        k = self.k
+        for i in range(k):
+            for j in range(k):
+                if x[i * k + j]:
+                    g.add_edge(row("A1", i), row("A2", j))
+                if y[i * k + j]:
+                    g.add_edge(row("B1", i), row("B2", j))
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = set()
+        for s in ("A1", "A2"):
+            va.update(row(s, i) for i in range(self.k))
+            va.update(fvert(s, h) for h in range(self.log_k))
+            va.update(tvert(s, h) for h in range(self.log_k))
+            va.update(uvert(s, h) for h in range(self.log_k))
+        return va
+
+    def predicate(self, graph: Graph) -> bool:
+        """P: a dominating set of size 4·log k + 2 exists (holds iff
+        DISJ(x, y) = FALSE, so use ``verify_iff(..., negate=True)``)."""
+        return has_dominating_set_of_size(graph, self.target_size)
+
+    # ------------------------------------------------------------------
+    def witness_dominating_set(self, x: Sequence[int], y: Sequence[int],
+                               ) -> List[Vertex]:
+        """The constructive half of Lemma 2.1: for intersecting inputs,
+        the explicit dominating set of size 4·log k + 2."""
+        k, log_k = self.k, self.log_k
+        idx = next(p for p in range(k * k) if x[p] == 1 and y[p] == 1)
+        i, j = divmod(idx, k)
+        witness = [row("A1", i), row("B1", i)]
+        witness += cobin_set("A1", i, log_k)
+        witness += cobin_set("B1", i, log_k)
+        witness += cobin_set("A2", j, log_k)
+        witness += cobin_set("B2", j, log_k)
+        assert len(witness) == self.target_size
+        graph = self.build(x, y)
+        assert is_dominating_set(graph, witness), "witness fails to dominate"
+        return witness

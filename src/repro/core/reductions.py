@@ -1,0 +1,182 @@
+"""CONGEST-efficient reductions (Sections 2.2.2, 2.2.3, 2.3.1).
+
+The paper stresses that sequential reductions can only be reused when
+they preserve the family parameters (vertex count, cut size).  This
+module implements:
+
+- Lemma 2.2's transformation: directed graph G → undirected G' with
+  vertices v_in, v_middle, v_out, such that G has a directed Hamiltonian
+  cycle iff G' has a Hamiltonian cycle.  Each original vertex simulates
+  its three copies, so a round of an algorithm on G' costs 2 rounds on G.
+- Lemma 2.3's transformation: undirected G, pivot v → G' with v split
+  into v1, v2 plus pendant s, t, such that G has a Hamiltonian cycle iff
+  G' has a Hamiltonian path.
+- Claim 2.7: G has a 2-ECSS with exactly n edges iff G is Hamiltonian.
+- Theorem 2.6: a generic family-reduction wrapper that derives a new
+  :class:`LowerBoundGraphFamily` from an existing one through a graph
+  transformation that maps VA → V'A deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.family import LowerBoundGraphFamily
+from repro.graphs import DiGraph, Graph, Vertex
+from repro.solvers.hamilton import (
+    find_hamiltonian_cycle,
+    find_hamiltonian_path,
+)
+
+AnyGraph = Union[Graph, DiGraph]
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.2: directed Hamiltonian cycle → undirected Hamiltonian cycle
+# ----------------------------------------------------------------------
+def directed_to_undirected_hc(dg: DiGraph) -> Graph:
+    """The classic in/middle/out split [27], as used by Lemma 2.2.
+
+    V' = {v_in, v_mid, v_out}, E' = {(v_in, v_mid), (v_mid, v_out)} ∪
+    {(u_out, v_in) : (u, v) ∈ E}.  Every vertex of G simulates its three
+    copies, so the transformation is free in CONGEST (2x round overhead).
+    """
+    g = Graph()
+    for v in dg.vertices():
+        g.add_edge(("in", v), ("mid", v))
+        g.add_edge(("mid", v), ("out", v))
+    for u, v in dg.edges():
+        g.add_edge(("out", u), ("in", v))
+    return g
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.3: Hamiltonian cycle → Hamiltonian path
+# ----------------------------------------------------------------------
+def hc_to_hp(graph: Graph, pivot: Optional[Vertex] = None) -> Graph:
+    """Split ``pivot`` (default: minimum-id vertex, as the distributed
+    implementation elects) into v1, v2 with pendants s, t [27]."""
+    if pivot is None:
+        pivot = min(graph.vertices(), key=repr)
+    g = Graph()
+    for v in graph.vertices():
+        if v != pivot:
+            g.add_vertex(v)
+    g.add_vertices([("pivot", 1), ("pivot", 2), "hp_s", "hp_t"])
+    for u, v in graph.edges():
+        if pivot not in (u, v):
+            g.add_edge(u, v)
+        else:
+            other = v if u == pivot else u
+            g.add_edge(("pivot", 1), other)
+            g.add_edge(("pivot", 2), other)
+    g.add_edge("hp_s", ("pivot", 1))
+    g.add_edge(("pivot", 2), "hp_t")
+    return g
+
+
+# ----------------------------------------------------------------------
+# Claim 2.7: 2-ECSS with n edges ⇔ Hamiltonian cycle
+# ----------------------------------------------------------------------
+def two_ecss_n_edges_iff_hamiltonian(graph: Graph) -> bool:
+    """Decide "G has a 2-edge-connected spanning subgraph with exactly
+    n edges" via Claim 2.7's equivalence with Hamiltonicity."""
+    return find_hamiltonian_cycle(graph) is not None
+
+
+# ----------------------------------------------------------------------
+# Theorem 2.6: reductions between families of lower bound graphs
+# ----------------------------------------------------------------------
+class ReducedFamily(LowerBoundGraphFamily):
+    """Derive a family for predicate P2 from one for P1 (Theorem 2.6).
+
+    ``transform`` maps G_{x,y} to G'_{x,y}; ``map_alice`` maps the base
+    family's VA to V'A.  The conditions of Theorem 2.6 (V'A determined by
+    VA, intra-side edges by intra-side edges, cut by cut, and P1 ⇔ P2)
+    are *checked* by ``validate_family``/``verify_iff`` rather than
+    assumed — this is the executable analogue of the theorem statement.
+    """
+
+    def __init__(
+        self,
+        base: LowerBoundGraphFamily,
+        transform: Callable[[AnyGraph], AnyGraph],
+        map_alice: Callable[[Set[Vertex]], Set[Vertex]],
+        predicate2: Callable[[AnyGraph], bool],
+        name: str = "ReducedFamily",
+    ) -> None:
+        self.base = base
+        self.transform = transform
+        self.map_alice = map_alice
+        self.predicate2 = predicate2
+        self.function = base.function
+        self._name = name
+
+    @property
+    def k_bits(self) -> int:
+        return self.base.k_bits
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> AnyGraph:
+        return self.transform(self.base.build(x, y))
+
+    def alice_vertices(self) -> Set[Vertex]:
+        return self.map_alice(self.base.alice_vertices())
+
+    def predicate(self, graph: AnyGraph) -> bool:
+        return self.predicate2(graph)
+
+
+def undirected_hc_family(base_cycle_family) -> ReducedFamily:
+    """Theorem 2.4 (cycle half): apply Lemma 2.2 to the directed-cycle
+    family.  Alice's side maps to the three copies of each VA vertex."""
+
+    def map_alice(va: Set[Vertex]) -> Set[Vertex]:
+        return {(tag, v) for v in va for tag in ("in", "mid", "out")}
+
+    return ReducedFamily(
+        base=base_cycle_family,
+        transform=directed_to_undirected_hc,
+        map_alice=map_alice,
+        predicate2=lambda g: find_hamiltonian_cycle(g) is not None,
+        name="UndirectedHamiltonianCycleFamily",
+    )
+
+
+def undirected_hp_family(base_cycle_family, pivot: Vertex) -> ReducedFamily:
+    """Theorem 2.4 (path half): Lemma 2.2 then Lemma 2.3 with a fixed
+    pivot (the distributed algorithm elects the min-id vertex; a fixed
+    family uses a fixed pivot, which must belong to one side)."""
+
+    def transform(dg: DiGraph) -> Graph:
+        return hc_to_hp(directed_to_undirected_hc(dg), pivot=("in", pivot))
+
+    def map_alice(va: Set[Vertex]) -> Set[Vertex]:
+        out = {(tag, v) for v in va for tag in ("in", "mid", "out")}
+        if pivot in va:
+            out -= {("in", pivot)}
+            out |= {("pivot", 1), ("pivot", 2), "hp_s", "hp_t"}
+        return out
+
+    return ReducedFamily(
+        base=base_cycle_family,
+        transform=transform,
+        map_alice=map_alice,
+        predicate2=lambda g: find_hamiltonian_path(g) is not None,
+        name="UndirectedHamiltonianPathFamily",
+    )
+
+
+def two_ecss_family(base_cycle_family) -> ReducedFamily:
+    """Theorem 2.5: the undirected-HC family, with the predicate read as
+    "has a 2-ECSS with exactly n edges" (Claim 2.7)."""
+
+    def map_alice(va: Set[Vertex]) -> Set[Vertex]:
+        return {(tag, v) for v in va for tag in ("in", "mid", "out")}
+
+    return ReducedFamily(
+        base=base_cycle_family,
+        transform=directed_to_undirected_hc,
+        map_alice=map_alice,
+        predicate2=two_ecss_n_edges_iff_hamiltonian,
+        name="TwoEcssFamily",
+    )

@@ -1,0 +1,99 @@
+"""Section 4.5: restricted hardness of approximating MDS (Theorem 4.8).
+
+The construction (Figure 7) modifies the 2-MDS graph: the element pairs
+a_j, b_j collapse into single *shared* vertices j ∈ [ℓ] adjacent to S_i
+(j ∈ S_i) and to S̄_i (j ∉ S_i).  The specials a, b, R and the weighting
+are as in Section 4.2.  Lemma 4.7: minimum weight MDS = 2 iff
+DISJ_T(x, y) = FALSE, else > r.
+
+Because the element vertices see both players' inputs, this is *not* a
+Definition 1.1 family; the lower bound only applies to *local aggregate
+algorithms* (Definition 4.1), which Alice and Bob can co-simulate by
+exchanging two partial aggregates per shared vertex per round
+(O(ℓ·log n) bits) — implemented in
+:func:`repro.congest.local_aggregate.simulate_shared_two_party`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.congest.local_aggregate import (
+    GreedyMdsSpec,
+    LocalAggregateRun,
+    simulate_shared_two_party,
+)
+from repro.core.kmds import A_SPECIAL, B_SPECIAL, R_SPECIAL, scomp, svert
+from repro.covering.designs import CoveringCollection
+from repro.graphs import Graph, Vertex
+from repro.solvers.dominating import min_dominating_set_weight
+
+
+def element(j: int) -> Vertex:
+    return ("elem", j)
+
+
+class RestrictedMdsConstruction:
+    """Figure 7 construction with shared element vertices."""
+
+    def __init__(self, collection: CoveringCollection,
+                 alpha: int = None) -> None:  # type: ignore[assignment]
+        self.collection = collection
+        self.alpha = alpha if alpha is not None else collection.r + 1
+
+    @property
+    def k_bits(self) -> int:
+        return self.collection.T
+
+    @property
+    def ell(self) -> int:
+        return self.collection.universe_size
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        if len(x) != self.k_bits or len(y) != self.k_bits:
+            raise ValueError("input length must be T")
+        g = Graph()
+        for j in range(self.ell):
+            g.add_vertex(element(j), weight=self.alpha)
+        g.add_vertex(A_SPECIAL, weight=0)
+        g.add_vertex(B_SPECIAL, weight=0)
+        g.add_vertex(R_SPECIAL, weight=0)
+        g.add_edge(R_SPECIAL, A_SPECIAL)
+        g.add_edge(R_SPECIAL, B_SPECIAL)
+        for i in range(self.collection.T):
+            g.add_vertex(svert(i), weight=1 if x[i] else self.alpha)
+            g.add_vertex(scomp(i), weight=1 if y[i] else self.alpha)
+            g.add_edge(A_SPECIAL, svert(i))
+            g.add_edge(B_SPECIAL, scomp(i))
+            for j in range(self.ell):
+                if j in self.collection.sets[i]:
+                    g.add_edge(svert(i), element(j))
+                else:
+                    g.add_edge(scomp(i), element(j))
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = {A_SPECIAL}
+        va.update(svert(i) for i in range(self.collection.T))
+        return va
+
+    def shared_vertices(self) -> Set[Vertex]:
+        return {element(j) for j in range(self.ell)}
+
+    def optimum(self, graph: Graph) -> float:
+        return min_dominating_set_weight(graph, k=1)
+
+    def predicate(self, graph: Graph) -> bool:
+        """Minimum weight MDS ≤ 2 (iff DISJ = FALSE, Lemma 4.7)."""
+        return self.optimum(graph) <= 2
+
+    # ------------------------------------------------------------------
+    def simulate_greedy_two_party(self, x: Sequence[int], y: Sequence[int],
+                                  ) -> LocalAggregateRun:
+        """Run the weight-aware greedy MDS (a genuine local aggregate
+        algorithm) under the Theorem 4.8 shared-vertex simulation,
+        returning the measured two-party cost."""
+        graph = self.build(x, y)
+        return simulate_shared_two_party(
+            graph, self.alice_vertices(), self.shared_vertices(),
+            GreedyMdsSpec())

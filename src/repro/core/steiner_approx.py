@@ -1,0 +1,188 @@
+"""Section 4.4: hardness of approximating Steiner tree variants
+(Theorems 4.6-4.7, Figure 6).
+
+Both families reuse the Figure 5 covering-collection skeleton.
+
+Node-weighted Steiner tree (Theorem 4.6): the 2-MDS graph with weights
+0 on {a_j}, {b_j}, a, b, R and input-dependent 1/α on S_i, S̄_i;
+terminals A ∪ B.  Lemma 4.5: a Steiner tree of weight 2 exists iff
+DISJ = FALSE, else every Steiner tree weighs > r.
+
+Directed Steiner tree (Theorem 4.7): root R, terminals A ∪ B, directed
+edges (R,a), (R,b) and (a_j, b_j), (b_j, a_j) of weight 0; (a, S_i),
+(b, S̄_i) of weight 1; fallback edges (a, a_j), (b, b_j) of weight α;
+and — input-dependently — the *presence* of (S_i, a_j) for j ∈ S_i iff
+x_i = 1, of (S̄_i, b_j) for j ∉ S_i iff y_i = 1.  Lemma 4.6: minimum
+weight 2 iff DISJ = FALSE, else > r.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.family import LowerBoundGraphFamily
+from repro.core.kmds import (
+    A_SPECIAL,
+    B_SPECIAL,
+    R_SPECIAL,
+    avert,
+    bvert,
+    scomp,
+    svert,
+)
+from repro.covering.designs import CoveringCollection
+from repro.graphs import DiGraph, Graph, Vertex
+from repro.solvers.steiner import (
+    min_directed_steiner_reachability_cost,
+    min_node_weighted_steiner_cost,
+)
+
+
+class NodeWeightedSteinerFamily(LowerBoundGraphFamily):
+    """Theorem 4.6 / Lemma 4.5 family."""
+
+    def __init__(self, collection: CoveringCollection,
+                 alpha: int = None) -> None:  # type: ignore[assignment]
+        self.collection = collection
+        self.alpha = alpha if alpha is not None else collection.r + 1
+
+    @property
+    def k_bits(self) -> int:
+        return self.collection.T
+
+    @property
+    def ell(self) -> int:
+        return self.collection.universe_size
+
+    def terminals(self) -> List[Vertex]:
+        return [avert(j) for j in range(self.ell)] + \
+               [bvert(j) for j in range(self.ell)]
+
+    def fixed_graph(self) -> Graph:
+        g = Graph()
+        ell, T = self.ell, self.collection.T
+        for j in range(ell):
+            g.add_vertex(avert(j), weight=0)
+            g.add_vertex(bvert(j), weight=0)
+            g.add_edge(avert(j), bvert(j))
+        for v in (A_SPECIAL, B_SPECIAL, R_SPECIAL):
+            g.add_vertex(v, weight=0)
+        g.add_edge(R_SPECIAL, A_SPECIAL)
+        g.add_edge(R_SPECIAL, B_SPECIAL)
+        for i in range(T):
+            g.add_vertex(svert(i))
+            g.add_vertex(scomp(i))
+            g.add_edge(A_SPECIAL, svert(i))
+            g.add_edge(B_SPECIAL, scomp(i))
+            for j in range(ell):
+                if j in self.collection.sets[i]:
+                    g.add_edge(svert(i), avert(j))
+                else:
+                    g.add_edge(scomp(i), bvert(j))
+        return g
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
+        if len(x) != self.k_bits or len(y) != self.k_bits:
+            raise ValueError("input length must be T")
+        g = self.fixed_graph()
+        for i in range(self.collection.T):
+            g.set_vertex_weight(svert(i), 1 if x[i] else self.alpha)
+            g.set_vertex_weight(scomp(i), 1 if y[i] else self.alpha)
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = {A_SPECIAL}
+        va.update(avert(j) for j in range(self.ell))
+        va.update(svert(i) for i in range(self.collection.T))
+        return va
+
+    def optimum(self, graph: Graph) -> float:
+        return min_node_weighted_steiner_cost(graph, self.terminals())
+
+    def predicate(self, graph: Graph) -> bool:
+        """P: a node-weighted Steiner tree of weight ≤ 2 exists (iff
+        DISJ = FALSE)."""
+        return self.optimum(graph) <= 2
+
+
+class DirectedSteinerFamily(LowerBoundGraphFamily):
+    """Theorem 4.7 / Lemma 4.6 family."""
+
+    def __init__(self, collection: CoveringCollection,
+                 alpha: int = None) -> None:  # type: ignore[assignment]
+        self.collection = collection
+        self.alpha = alpha if alpha is not None else collection.r + 1
+
+    @property
+    def k_bits(self) -> int:
+        return self.collection.T
+
+    @property
+    def ell(self) -> int:
+        return self.collection.universe_size
+
+    def terminals(self) -> List[Vertex]:
+        return [avert(j) for j in range(self.ell)] + \
+               [bvert(j) for j in range(self.ell)]
+
+    def fixed_graph(self) -> DiGraph:
+        g = DiGraph()
+        ell, T = self.ell, self.collection.T
+        g.add_edge(R_SPECIAL, A_SPECIAL, weight=0)
+        g.add_edge(R_SPECIAL, B_SPECIAL, weight=0)
+        for j in range(ell):
+            g.add_edge(avert(j), bvert(j), weight=0)
+            g.add_edge(bvert(j), avert(j), weight=0)
+            g.add_edge(A_SPECIAL, avert(j), weight=self.alpha)
+            g.add_edge(B_SPECIAL, bvert(j), weight=self.alpha)
+        for i in range(T):
+            g.add_edge(A_SPECIAL, svert(i), weight=1)
+            g.add_edge(B_SPECIAL, scomp(i), weight=1)
+        return g
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> DiGraph:
+        if len(x) != self.k_bits or len(y) != self.k_bits:
+            raise ValueError("input length must be T")
+        g = self.fixed_graph()
+        for i in range(self.collection.T):
+            for j in range(self.ell):
+                if j in self.collection.sets[i]:
+                    if x[i]:
+                        g.add_edge(svert(i), avert(j), weight=0)
+                else:
+                    if y[i]:
+                        g.add_edge(scomp(i), bvert(j), weight=0)
+        return g
+
+    def alice_vertices(self) -> Set[Vertex]:
+        va: Set[Vertex] = {A_SPECIAL}
+        va.update(avert(j) for j in range(self.ell))
+        va.update(svert(i) for i in range(self.collection.T))
+        return va
+
+    def optimum(self, graph: DiGraph) -> float:
+        """Exact directed Steiner cost via the cover structure: terminals
+        decompose into per-element coverage by weight-1 set edges or
+        weight-α fallbacks (the generic reachability solver cross-checks
+        this on small instances in the tests)."""
+        from repro.solvers.dominating import min_set_cover
+
+        ell = self.ell
+        sets: List[Tuple[List[int], float]] = []
+        for i in range(self.collection.T):
+            covered = [j for j in range(ell)
+                       if graph.has_edge(svert(i), avert(j))]
+            sets.append((covered, 1.0))
+            covered_b = [j for j in range(ell)
+                         if graph.has_edge(scomp(i), bvert(j))]
+            sets.append((covered_b, 1.0))
+        for j in range(ell):
+            sets.append(([j], float(self.alpha)))
+        weight, choice = min_set_cover(ell, sets)
+        assert choice is not None
+        return weight
+
+    def predicate(self, graph: DiGraph) -> bool:
+        """P: a directed Steiner tree of weight ≤ 2 exists (iff
+        DISJ = FALSE)."""
+        return self.optimum(graph) <= 2

@@ -1,0 +1,13 @@
+"""r-covering set collections (Lemma 4.2, after [38, 40])."""
+
+from repro.covering.designs import (
+    CoveringCollection,
+    build_covering_collection,
+    has_r_covering_property,
+)
+
+__all__ = [
+    "CoveringCollection",
+    "build_covering_collection",
+    "has_r_covering_property",
+]

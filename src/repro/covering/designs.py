@@ -1,0 +1,89 @@
+"""Covering collections with the r-covering property (Lemma 4.2).
+
+A collection C = S₁ … S_T of subsets of [ℓ] has the *r-covering
+property* if any choice of at most r sets from {Sᵢ} ∪ {S̄ᵢ} that
+contains no complementary pair leaves some element of [ℓ] uncovered.
+Lemma 4.2 ([40]) guarantees collections of size T = e^{ℓ/r·2^r}; we build
+them by the probabilistic construction (uniform random subsets) and
+*verify* the property exhaustively before use, retrying seeds on failure
+— so the Section 4.2-4.4 experiments never assume the design.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CoveringCollection:
+    """Sets over universe [ℓ] with the verified r-covering property."""
+
+    universe_size: int
+    r: int
+    sets: Tuple[FrozenSet[int], ...]
+
+    @property
+    def T(self) -> int:
+        return len(self.sets)
+
+    def complement(self, index: int) -> FrozenSet[int]:
+        return frozenset(range(self.universe_size)) - self.sets[index]
+
+
+def has_r_covering_property(universe_size: int,
+                            sets: Sequence[FrozenSet[int]],
+                            r: int) -> bool:
+    """Exhaustive check: every ≤ r-subset of {Sᵢ} ∪ {S̄ᵢ} without a
+    complementary pair misses some element.  Exponential in r and T —
+    intended for the verification scale."""
+    universe = frozenset(range(universe_size))
+    # signed index: (i, False) = S_i, (i, True) = complement
+    signed = [(i, False) for i in range(len(sets))] + \
+             [(i, True) for i in range(len(sets))]
+
+    def resolve(si: Tuple[int, bool]) -> FrozenSet[int]:
+        i, comp = si
+        return (universe - sets[i]) if comp else sets[i]
+
+    for size in range(1, r + 1):
+        for combo in itertools.combinations(signed, size):
+            indices = [i for i, __ in combo]
+            if len(set(indices)) != len(indices):
+                continue  # contains S_i together with S̄_i (or a repeat)
+            covered = frozenset().union(*(resolve(si) for si in combo))
+            if covered >= universe:
+                return False
+    return True
+
+
+def build_covering_collection(universe_size: int, T: int, r: int,
+                              seed: int = 0, max_tries: int = 500,
+                              ) -> CoveringCollection:
+    """Probabilistic construction with exhaustive verification.
+
+    Each element joins each set independently with probability 1/2; the
+    collection is kept only if the r-covering property verifies, else the
+    seed advances.  Also rejects collections with empty/full sets or
+    duplicated sets (degenerate for the constructions downstream).
+    """
+    universe = frozenset(range(universe_size))
+    for attempt in range(max_tries):
+        rng = random.Random(seed + attempt)
+        sets = []
+        for __ in range(T):
+            s = frozenset(e for e in range(universe_size)
+                          if rng.random() < 0.5)
+            sets.append(s)
+        if any(not s or s == universe for s in sets):
+            continue
+        if len(set(sets)) != T:
+            continue
+        if has_r_covering_property(universe_size, sets, r):
+            return CoveringCollection(universe_size=universe_size, r=r,
+                                      sets=tuple(sets))
+    raise RuntimeError(
+        f"no r-covering collection found (ℓ={universe_size}, T={T}, r={r}); "
+        "the Lemma 4.2 regime requires T <= e^(ℓ/(r·2^r))")

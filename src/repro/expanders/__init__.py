@@ -1,0 +1,16 @@
+"""Bounded-degree expander gadgets (Claim 3.2)."""
+
+from repro.expanders.regular import certified_cubic_expander, spectral_expansion
+from repro.expanders.gadget import (
+    ExpanderGadget,
+    build_gadget,
+    verify_cut_property_exact,
+)
+
+__all__ = [
+    "certified_cubic_expander",
+    "spectral_expansion",
+    "ExpanderGadget",
+    "build_gadget",
+    "verify_cut_property_exact",
+]

@@ -1,0 +1,62 @@
+"""3-regular expanders with a computed (not assumed) expansion certificate.
+
+Claim 3.2 cites the explicit recursive construction of Ajtai [2].  We
+substitute deterministic seeded search over random cubic graphs and
+*certify* each instance spectrally: for a d-regular graph with adjacency
+second eigenvalue λ₂, the edge expansion satisfies h(G) ≥ (d − λ₂)/2
+(Cheeger), and the vertex expansion c ≥ h/d.  The search retries seeds
+until the certificate clears the requested threshold, so downstream code
+never relies on an unverified expander.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs import Graph
+
+
+def spectral_expansion(graph: Graph, degree: int = 3) -> float:
+    """Certified vertex expansion from the spectral gap.
+
+    Returns c such that every S with |S| ≤ n/2 has |N(S) \\ S| ≥ c·|S|.
+    """
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    n = nxg.number_of_nodes()
+    adj = nx.to_numpy_array(nxg)
+    eigs = np.linalg.eigvalsh(adj)
+    lambda2 = float(sorted(eigs)[-2]) if n >= 2 else 0.0
+    edge_expansion = max(0.0, (degree - lambda2) / 2.0)
+    return edge_expansion / degree
+
+
+def certified_cubic_expander(n: int, min_expansion: float = 0.1,
+                             seed: int = 0, max_tries: int = 200,
+                             ) -> Tuple[Graph, float]:
+    """A connected 3-regular graph on ``n`` vertices (n even, n ≥ 4) with
+    certified vertex expansion ≥ ``min_expansion``.
+
+    Deterministic given ``seed``: seeds are tried in order until the
+    spectral certificate clears the threshold.
+    """
+    import networkx as nx
+
+    if n % 2 or n < 4:
+        raise ValueError("3-regular graphs need an even n >= 4")
+    for attempt in range(max_tries):
+        nxg = nx.random_regular_graph(3, n, seed=seed + attempt)
+        if not nx.is_connected(nxg):
+            continue
+        g = Graph()
+        for u, v in nxg.edges():
+            g.add_edge(("x", u), ("x", v))
+        c = spectral_expansion(g, degree=3)
+        if c >= min_expansion:
+            return g, c
+    raise RuntimeError(
+        f"no cubic expander with expansion {min_expansion} found in "
+        f"{max_tries} seeds at n={n}")

@@ -1,0 +1,30 @@
+"""Per-theorem reproduction experiments.
+
+Every theorem and figure of the paper has an experiment that builds the
+relevant construction, machine-checks its carrying lemma, and reports
+paper-claim vs measured quantities.  ``run_all()`` produces the records
+behind EXPERIMENTS.md; the benchmark suite wraps the same runners.
+"""
+
+from repro.experiments.runner import (
+    ExperimentRecord,
+    EXPERIMENTS,
+    experiment,
+    run_experiment,
+    run_all,
+    format_markdown,
+)
+import repro.experiments.exact  # noqa: F401  (registers experiments)
+import repro.experiments.bounded  # noqa: F401
+import repro.experiments.approx  # noqa: F401
+import repro.experiments.congest  # noqa: F401
+import repro.experiments.limits  # noqa: F401
+
+__all__ = [
+    "ExperimentRecord",
+    "EXPERIMENTS",
+    "experiment",
+    "run_experiment",
+    "run_all",
+    "format_markdown",
+]

@@ -1,0 +1,25 @@
+"""Regenerate the experiment record table: ``python -m repro.experiments``.
+
+Writes the markdown table that EXPERIMENTS.md embeds.  ``--full`` runs
+the slower, larger sweeps (the benchmark-suite scale).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import format_markdown, run_all
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+    started = time.time()
+    records = run_all(quick=quick)
+    print(format_markdown(records))
+    print(f"\n<!-- {len(records)} experiments, "
+          f"{time.time() - started:.1f}s, quick={quick} -->")
+
+
+if __name__ == "__main__":
+    main()

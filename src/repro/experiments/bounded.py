@@ -1,0 +1,118 @@
+"""Experiments for Section 3 (Theorems 3.1-3.4)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict
+
+from repro.cc.functions import disjointness, random_input_pairs
+from repro.core.bounded_degree import (
+    BoundedDegreeMaxIS,
+    expand_formula,
+    formula_to_graph,
+    graph_to_formula,
+    mvc_to_mds_graph,
+    mvc_to_two_spanner_graph,
+)
+from repro.experiments.runner import ExperimentRecord, experiment
+from repro.graphs import random_graph
+from repro.limits.protocols import solve_disjointness_via_bounded_degree_maxis
+from repro.solvers import (
+    is_independent_set,
+    max_independent_set,
+    max_sat_value,
+    min_dominating_set,
+    min_two_spanner_cost,
+    min_vertex_cover_size,
+)
+
+
+@experiment("E-F4-T3.1-bounded-degree-maxis")
+def run_bounded_degree(quick: bool = True) -> ExperimentRecord:
+    rng = random.Random(0x31)
+    # chain claims on small random graphs (Claims 3.1, 3.3/Cor 3.1, 3.4)
+    chain_checks = 0
+    for t in range(2 if quick else 5):
+        g = random_graph(5, 0.5, rng)
+        phi = graph_to_formula(g)
+        f_phi = max_sat_value(phi)
+        alpha = len(max_independent_set(g))
+        assert f_phi == alpha + g.m              # Claim 3.1
+        ex = expand_formula(phi, seed=t)
+        gp = formula_to_graph(ex.cnf)
+        a2 = len(max_independent_set(gp))
+        assert a2 == f_phi + ex.n_expander_clauses  # Cor 3.1 + Claim 3.4
+        assert gp.max_degree() <= 5
+        chain_checks += 1
+    # full construction at k = 2: exact α chain, witness, Claim 3.6
+    from repro.solvers import independence_number
+
+    bd = BoundedDegreeMaxIS(2, seed=1)
+    pairs = random_input_pairs(4, 4 if quick else 8, rng)
+    max_degree = 0
+    diam = 0
+    protocol_bits = 0
+    for idx, (x, y) in enumerate(pairs):
+        inst = bd.build(x, y)
+        max_degree = max(max_degree, inst.graph.max_degree())
+        diam = max(diam, inst.graph.diameter())
+        alpha = independence_number(inst.graph)
+        alpha_base = independence_number(inst.base_graph)
+        assert alpha == alpha_base + inst.alpha_offset()
+        assert (alpha == bd.alpha_target(inst)) == (not disjointness(x, y))
+        if not disjointness(x, y):
+            w = bd.witness_independent_set(inst, x, y)
+            assert len(w) == bd.alpha_target(inst)
+            assert is_independent_set(inst.graph, w)
+        if idx < 2:
+            answer, bits, __ = solve_disjointness_via_bounded_degree_maxis(
+                bd, x, y)
+            assert answer == disjointness(x, y)
+            protocol_bits = max(protocol_bits, bits)
+    nprime = inst.graph.n
+    return ExperimentRecord(
+        experiment_id="E-F4-T3.1-bounded-degree-maxis",
+        paper_claim="MaxIS on Δ≤5, O(log n)-diameter graphs needs "
+                    "Ω(n/log²n) (Thm 3.1, Claims 3.1-3.6)",
+        parameters={"base_k": 2, "n_prime": nprime},
+        measured={
+            "chain_checks": chain_checks,
+            "max_degree": max_degree,
+            "diameter": diam,
+            "log2_n": round(math.log2(nprime), 1),
+            "claim36_protocol_bits": protocol_bits,
+        },
+        passed=max_degree <= 5,
+    )
+
+
+@experiment("E-T3.3-T3.4-bounded-degree-reductions")
+def run_bounded_reductions(quick: bool = True) -> ExperimentRecord:
+    rng = random.Random(0x33)
+    mds_checks = spanner_checks = 0
+    while mds_checks < (3 if quick else 8):
+        g = random_graph(6, 0.5, rng)
+        if any(g.degree(v) == 0 for v in g.vertices()):
+            continue
+        gd = mvc_to_mds_graph(g)
+        assert len(min_dominating_set(gd)) == min_vertex_cover_size(g)
+        mds_checks += 1
+    while spanner_checks < (2 if quick else 5):
+        g = random_graph(4, 0.7, rng)
+        if g.m == 0 or any(g.degree(v) == 0 for v in g.vertices()):
+            continue
+        h = mvc_to_two_spanner_graph(g)
+        assert min_two_spanner_cost(h, limit_edges=12) == \
+            min_vertex_cover_size(g)
+        spanner_checks += 1
+    return ExperimentRecord(
+        experiment_id="E-T3.3-T3.4-bounded-degree-reductions",
+        paper_claim="MVC→MDS (degree-preserving) and MVC→weighted "
+                    "2-spanner carry Thm 3.2 to Thms 3.3, 3.4",
+        parameters={},
+        measured={"mvc_to_mds_checks": mds_checks,
+                  "mvc_to_spanner_checks": spanner_checks},
+        notes="2-spanner reduction is a verified substitution for [9]'s "
+              "(see DESIGN.md).",
+    )

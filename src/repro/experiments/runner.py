@@ -1,0 +1,55 @@
+"""Experiment registry and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+ExperimentFn = Callable[..., "ExperimentRecord"]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {}
+
+
+@dataclass
+class ExperimentRecord:
+    """Paper-claim vs measured outcome for one theorem/figure."""
+
+    experiment_id: str
+    paper_claim: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    measured: Dict[str, Any] = field(default_factory=dict)
+    passed: bool = True
+    notes: str = ""
+
+    def as_row(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        meas = "; ".join(f"{k}={v}" for k, v in self.measured.items())
+        status = "PASS" if self.passed else "FAIL"
+        return (f"| {self.experiment_id} | {self.paper_claim} | {params} "
+                f"| {meas} | {status} |")
+
+
+def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    def register(fn: ExperimentFn) -> ExperimentFn:
+        EXPERIMENTS[experiment_id] = fn
+        return fn
+    return register
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentRecord:
+    return EXPERIMENTS[experiment_id](quick=quick)
+
+
+def run_all(quick: bool = True,
+            only: Optional[List[str]] = None) -> List[ExperimentRecord]:
+    ids = only if only is not None else sorted(EXPERIMENTS)
+    return [run_experiment(eid, quick=quick) for eid in ids]
+
+
+def format_markdown(records: List[ExperimentRecord]) -> str:
+    lines = [
+        "| experiment | paper claim | parameters | measured | status |",
+        "|---|---|---|---|---|",
+    ]
+    lines.extend(r.as_row() for r in records)
+    return "\n".join(lines)

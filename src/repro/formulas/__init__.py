@@ -1,0 +1,5 @@
+"""CNF formulas and the MaxIS↔max-2SAT transformations of Section 3.1."""
+
+from repro.formulas.cnf import CNF, Clause, Literal, neg, pos
+
+__all__ = ["CNF", "Clause", "Literal", "neg", "pos"]

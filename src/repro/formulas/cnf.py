@@ -1,0 +1,73 @@
+"""CNF formulas for the Section 3.1 reduction chain.
+
+Variables are arbitrary hashable labels; a literal is ``(variable,
+polarity)`` with ``polarity=True`` for the positive literal.  Clauses are
+tuples of literals.  The paper only needs 1- and 2-literal clauses
+(max-2SAT), but nothing here depends on that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+Variable = Hashable
+Literal = Tuple[Variable, bool]
+Clause = Tuple[Literal, ...]
+
+
+def pos(var: Variable) -> Literal:
+    """The positive literal of ``var``."""
+    return (var, True)
+
+
+def neg(var: Variable) -> Literal:
+    """The negated literal of ``var``."""
+    return (var, False)
+
+
+class CNF:
+    """A CNF formula as an ordered multiset of clauses."""
+
+    def __init__(self, clauses: Iterable[Sequence[Literal]] = ()) -> None:
+        self.clauses: List[Clause] = [tuple(c) for c in clauses]
+        for clause in self.clauses:
+            if not clause:
+                raise ValueError("empty clause")
+
+    def add_clause(self, *literals: Literal) -> None:
+        if not literals:
+            raise ValueError("empty clause")
+        self.clauses.append(tuple(literals))
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables(self) -> List[Variable]:
+        seen: Dict[Variable, None] = {}
+        for clause in self.clauses:
+            for var, __ in clause:
+                seen.setdefault(var)
+        return list(seen)
+
+    def occurrences(self, var: Variable) -> int:
+        """Number of clauses containing ``var`` (in either polarity)."""
+        return sum(1 for clause in self.clauses
+                   if any(v == var for v, __ in clause))
+
+    def max_clause_width(self) -> int:
+        return max((len(c) for c in self.clauses), default=0)
+
+    def satisfied_count(self, assignment: Dict[Variable, bool]) -> int:
+        """Number of clauses satisfied under ``assignment``."""
+        count = 0
+        for clause in self.clauses:
+            if any(assignment[var] == polarity for var, polarity in clause):
+                count += 1
+        return count
+
+    def literal_occurrences(self, literal: Literal) -> int:
+        return sum(1 for clause in self.clauses if literal in clause)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CNF(vars={len(self.variables())}, clauses={self.n_clauses})"

@@ -1,0 +1,413 @@
+"""Lightweight graph structures used throughout the reproduction.
+
+The paper's constructions are described over vertices with rich symbolic
+names (row vertices ``('a', 1, i)``, bit-gadget vertices ``('f', 'A1', h)``,
+and so on).  We therefore use hashable labels as vertices and keep explicit
+adjacency dictionaries, with optional vertex weights and edge weights.
+
+Two classes are provided:
+
+- :class:`Graph` — simple undirected graphs with optional weights.
+- :class:`DiGraph` — simple directed graphs with optional weights.
+
+Both intentionally stay small and dependency-free; conversion helpers to
+``networkx`` exist for cross-checking in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class GraphError(Exception):
+    """Raised on structurally invalid graph operations."""
+
+
+class Graph:
+    """A simple undirected graph with optional vertex and edge weights.
+
+    Vertices are arbitrary hashable labels.  Parallel edges and self loops
+    are rejected: none of the paper's constructions use them, and rejecting
+    them catches construction bugs early.
+    """
+
+    directed = False
+
+    def __init__(self) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._edge_weight: Dict[Edge, float] = {}
+        self._vertex_weight: Dict[Vertex, float] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex, weight: Optional[float] = None) -> None:
+        """Add ``v`` (idempotent); optionally (re)set its weight."""
+        if v not in self._adj:
+            self._adj[v] = set()
+        if weight is not None:
+            self._vertex_weight[v] = weight
+
+    def add_vertices(self, vs: Iterable[Vertex], weight: Optional[float] = None) -> None:
+        for v in vs:
+            self.add_vertex(v, weight=weight)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: Optional[float] = None) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self loop on {u!r} rejected")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        if weight is not None:
+            self._edge_weight[self._key(u, v)] = weight
+
+    def add_edges(self, edges: Iterable[Edge], weight: Optional[float] = None) -> None:
+        for u, v in edges:
+            self.add_edge(u, v, weight=weight)
+
+    def add_clique(self, vs: Iterable[Vertex], weight: Optional[float] = None) -> None:
+        vs = list(vs)
+        for i, u in enumerate(vs):
+            self.add_vertex(u)
+            for v in vs[i + 1:]:
+                self.add_edge(u, v, weight=weight)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._edge_weight.pop(self._key(u, v), None)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not present")
+        for u in list(self._adj[v]):
+            self.remove_edge(u, v)
+        del self._adj[v]
+        self._vertex_weight.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(u: Vertex, v: Vertex) -> Edge:
+        a, b = sorted((u, v), key=repr)
+        return (a, b)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def n(self) -> int:
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> List[Vertex]:
+        return list(self._adj)
+
+    def edges(self) -> List[Edge]:
+        seen = set()
+        out = []
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = self._key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        return out
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        return set(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def closed_neighborhood(self, v: Vertex) -> Set[Vertex]:
+        return self._adj[v] | {v}
+
+    def edge_weight(self, u: Vertex, v: Vertex, default: float = 1.0) -> float:
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not present")
+        return self._edge_weight.get(self._key(u, v), default)
+
+    def vertex_weight(self, v: Vertex, default: float = 1.0) -> float:
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not present")
+        return self._vertex_weight.get(v, default)
+
+    def set_vertex_weight(self, v: Vertex, weight: float) -> None:
+        self.add_vertex(v, weight=weight)
+
+    def set_edge_weight(self, u: Vertex, v: Vertex, weight: float) -> None:
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not present")
+        self._edge_weight[self._key(u, v)] = weight
+
+    def total_edge_weight(self) -> float:
+        return sum(self.edge_weight(u, v) for u, v in self.edges())
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph()
+        for v in self._adj:
+            g.add_vertex(v)
+        g._vertex_weight = dict(self._vertex_weight)
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        g._edge_weight = dict(self._edge_weight)
+        return g
+
+    def induced_subgraph(self, vs: Iterable[Vertex]) -> "Graph":
+        keep = set(vs)
+        g = Graph()
+        for v in keep:
+            if v not in self._adj:
+                raise GraphError(f"vertex {v!r} not present")
+            g.add_vertex(v, weight=self._vertex_weight.get(v))
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v, weight=self._edge_weight.get(self._key(u, v)))
+        return g
+
+    def bfs_distances(self, source: Vertex) -> Dict[Vertex, int]:
+        """Unweighted hop distances from ``source`` (unreachable omitted)."""
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        remaining = set(self._adj)
+        comps = []
+        while remaining:
+            src = next(iter(remaining))
+            comp = set(self.bfs_distances(src))
+            comps.append(comp)
+            remaining -= comp
+        return comps
+
+    def is_connected(self) -> bool:
+        if not self._adj:
+            return True
+        return len(self.bfs_distances(next(iter(self._adj)))) == self.n
+
+    def diameter(self) -> int:
+        """Hop diameter; raises on disconnected graphs."""
+        if not self.is_connected():
+            raise GraphError("diameter of a disconnected graph")
+        best = 0
+        for v in self._adj:
+            best = max(best, max(self.bfs_distances(v).values(), default=0))
+        return best
+
+    def relabel(self, mapping: Dict[Vertex, Vertex]) -> "Graph":
+        """Return a copy with vertices renamed through ``mapping``.
+
+        Vertices absent from ``mapping`` keep their labels.  The mapping
+        must be injective on the vertex set.
+        """
+        full = {v: mapping.get(v, v) for v in self._adj}
+        if len(set(full.values())) != len(full):
+            raise GraphError("relabel mapping is not injective")
+        g = Graph()
+        for v in self._adj:
+            g.add_vertex(full[v], weight=self._vertex_weight.get(v))
+        for u, v in self.edges():
+            g.add_edge(full[u], full[v],
+                       weight=self._edge_weight.get(self._key(u, v)))
+        return g
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        for v in self._adj:
+            g.add_node(v, weight=self.vertex_weight(v))
+        for u, v in self.edges():
+            g.add_edge(u, v, weight=self.edge_weight(u, v))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, m={self.m})"
+
+
+class DiGraph:
+    """A simple directed graph with optional vertex and edge weights."""
+
+    directed = True
+
+    def __init__(self) -> None:
+        self._succ: Dict[Vertex, Set[Vertex]] = {}
+        self._pred: Dict[Vertex, Set[Vertex]] = {}
+        self._edge_weight: Dict[Edge, float] = {}
+        self._vertex_weight: Dict[Vertex, float] = {}
+
+    def add_vertex(self, v: Vertex, weight: Optional[float] = None) -> None:
+        if v not in self._succ:
+            self._succ[v] = set()
+            self._pred[v] = set()
+        if weight is not None:
+            self._vertex_weight[v] = weight
+
+    def add_vertices(self, vs: Iterable[Vertex], weight: Optional[float] = None) -> None:
+        for v in vs:
+            self.add_vertex(v, weight=weight)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: Optional[float] = None) -> None:
+        if u == v:
+            raise GraphError(f"self loop on {u!r} rejected")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        if weight is not None:
+            self._edge_weight[(u, v)] = weight
+
+    def add_edges(self, edges: Iterable[Edge], weight: Optional[float] = None) -> None:
+        for u, v in edges:
+            self.add_edge(u, v, weight=weight)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def n(self) -> int:
+        return len(self._succ)
+
+    @property
+    def m(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def vertices(self) -> List[Vertex]:
+        return list(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        for u, succ in self._succ.items():
+            for v in succ:
+                yield (u, v)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, v: Vertex) -> Set[Vertex]:
+        return set(self._succ[v])
+
+    def predecessors(self, v: Vertex) -> Set[Vertex]:
+        return set(self._pred[v])
+
+    def out_degree(self, v: Vertex) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: Vertex) -> int:
+        return len(self._pred[v])
+
+    def edge_weight(self, u: Vertex, v: Vertex, default: float = 1.0) -> float:
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not present")
+        return self._edge_weight.get((u, v), default)
+
+    def vertex_weight(self, v: Vertex, default: float = 1.0) -> float:
+        if v not in self._succ:
+            raise GraphError(f"vertex {v!r} not present")
+        return self._vertex_weight.get(v, default)
+
+    def copy(self) -> "DiGraph":
+        g = DiGraph()
+        for v in self._succ:
+            g.add_vertex(v)
+        g._vertex_weight = dict(self._vertex_weight)
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        g._edge_weight = dict(self._edge_weight)
+        return g
+
+    def to_undirected(self) -> Graph:
+        """Forget orientations (edge weights are kept; conflicts resolve
+        arbitrarily to the last edge seen)."""
+        g = Graph()
+        for v in self._succ:
+            g.add_vertex(v, weight=self._vertex_weight.get(v))
+        for u, v in self.edges():
+            g.add_edge(u, v, weight=self._edge_weight.get((u, v)))
+        return g
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for v in self._succ:
+            g.add_node(v, weight=self.vertex_weight(v))
+        for u, v in self.edges():
+            g.add_edge(u, v, weight=self.edge_weight(u, v))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(n={self.n}, m={self.m})"
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n on vertices ``0..n-1``."""
+    g = Graph()
+    g.add_clique(range(n))
+    if n == 1:
+        g.add_vertex(0)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n on vertices ``0..n-1``."""
+    if n < 3:
+        raise GraphError("cycles need at least 3 vertices")
+    g = Graph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """P_n on vertices ``0..n-1``."""
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def random_graph(n: int, p: float, rng) -> Graph:
+    """Erdős–Rényi G(n, p) using the supplied ``random.Random``."""
+    g = Graph()
+    g.add_vertices(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g

@@ -1,0 +1,38 @@
+"""Section 5: limitations of the Theorem 1.1 framework, as executable
+two-party protocols (Claims 5.1-5.9, 5.11) and the Γ(f) measure."""
+
+from repro.limits.protocols import (
+    PartitionedInstance,
+    mvc_bounded_degree_protocol,
+    mds_bounded_degree_protocol,
+    maxis_bounded_degree_protocol,
+    maxcut_unweighted_protocol,
+    maxcut_weighted_two_thirds_protocol,
+    mvc_three_halves_protocol,
+    mvc_ptas_protocol,
+    mds_two_approx_protocol,
+    maxis_half_protocol,
+    triangle_detection_protocol,
+    solve_disjointness_via_bounded_degree_maxis,
+)
+from repro.limits.flow_nd import (
+    max_flow_at_least_protocol,
+    max_flow_less_than_protocol,
+)
+
+__all__ = [
+    "PartitionedInstance",
+    "mvc_bounded_degree_protocol",
+    "mds_bounded_degree_protocol",
+    "maxis_bounded_degree_protocol",
+    "maxcut_unweighted_protocol",
+    "maxcut_weighted_two_thirds_protocol",
+    "mvc_three_halves_protocol",
+    "mvc_ptas_protocol",
+    "mds_two_approx_protocol",
+    "maxis_half_protocol",
+    "triangle_detection_protocol",
+    "solve_disjointness_via_bounded_degree_maxis",
+    "max_flow_at_least_protocol",
+    "max_flow_less_than_protocol",
+]

@@ -1,0 +1,128 @@
+"""Claim 5.11: nondeterministic protocols for max (s,t)-flow / min cut.
+
+Both protocols exchange O(|Ecut|·log n) bits, which by Corollary 5.2
+caps any Theorem 1.1 lower bound for exact max-flow at O(Γ(f)) — and
+with f = DISJ or EQ, at a constant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.cc.nondeterministic import NondeterministicProtocol
+from repro.cc.protocol import Channel
+from repro.graphs import Graph, Vertex
+from repro.limits.protocols import PartitionedInstance
+from repro.solvers.flow import max_flow, min_st_cut
+
+
+def max_flow_at_least_protocol(inst: PartitionedInstance, s: Vertex,
+                               t: Vertex, k: float) -> NondeterministicProtocol:
+    """MF ≥ k: the certificate is a feasible flow split by side; only
+    the cut-edge flow values are exchanged."""
+    g = inst.graph
+    alice = inst.alice
+
+    def owner_is_alice(u: Vertex, v: Vertex) -> bool:
+        return u in alice and v in alice
+
+    def prover(x: Any, y: Any) -> Tuple[Any, Any]:
+        value, flow = max_flow(g, s, t)
+        cert_a = {}
+        cert_b = {}
+        for (u, v), f in flow.items():
+            if u in alice and v in alice:
+                cert_a[(u, v)] = f
+            elif u not in alice and v not in alice:
+                cert_b[(u, v)] = f
+            else:
+                cert_a[(u, v)] = f
+                cert_b[(u, v)] = f
+        return cert_a, cert_b
+
+    def verifier(x: Any, cert_a: Any, y: Any, cert_b: Any,
+                 channel: Channel) -> bool:
+        if not isinstance(cert_a, dict) or not isinstance(cert_b, dict):
+            return False
+        # exchange flow on cut arcs; both players must agree on them
+        cut_arcs_a = {arc: f for arc, f in cert_a.items()
+                      if not (arc[0] in alice and arc[1] in alice)}
+        channel.a_to_b([(repr(arc), f) for arc, f in cut_arcs_a.items()])
+        cut_arcs_b = {arc: f for arc, f in cert_b.items()
+                      if not (arc[0] not in alice and arc[1] not in alice)}
+        channel.b_to_a([(repr(arc), f) for arc, f in cut_arcs_b.items()])
+        if cut_arcs_a != cut_arcs_b:
+            return False
+        flow = dict(cert_a)
+        flow.update(cert_b)
+        # feasibility: arcs exist, capacities respected, conservation
+        excess: Dict[Vertex, float] = {v: 0.0 for v in g.vertices()}
+        for (u, v), f in flow.items():
+            if f < -1e-9 or not g.has_edge(u, v):
+                return False
+            if f > g.edge_weight(u, v) + 1e-9:
+                return False
+            excess[u] -= f
+            excess[v] += f
+        for v in g.vertices():
+            if v in (s, t):
+                continue
+            if abs(excess[v]) > 1e-9:
+                return False
+        value = excess[t]
+        channel.a_to_b(int(value))
+        return value >= k - 1e-9
+
+    return NondeterministicProtocol(name="maxflow>=k", prover=prover,
+                                    verifier=verifier)
+
+
+def max_flow_less_than_protocol(inst: PartitionedInstance, s: Vertex,
+                                t: Vertex, k: float) -> NondeterministicProtocol:
+    """MF < k: the certificate is an (s,t)-cut; only the marks of
+    cut-incident vertices are exchanged, plus the per-side partial cut
+    weights."""
+    g = inst.graph
+    alice = inst.alice
+    cut_vertices = inst.cut_vertices()
+
+    def prover(x: Any, y: Any) -> Tuple[Any, Any]:
+        __, side = min_st_cut(g, s, t)
+        cert_a = {v: (1 if v in side else 0) for v in alice}
+        cert_b = {v: (1 if v in side else 0) for v in inst.bob}
+        return cert_a, cert_b
+
+    def verifier(x: Any, cert_a: Any, y: Any, cert_b: Any,
+                 channel: Channel) -> bool:
+        if not isinstance(cert_a, dict) or not isinstance(cert_b, dict):
+            return False
+        marks: Dict[Vertex, int] = {}
+        for v in g.vertices():
+            m = cert_a.get(v) if v in alice else cert_b.get(v)
+            if m not in (0, 1):
+                return False
+            marks[v] = m
+        if marks.get(s) != 1 or marks.get(t) != 0:
+            return False
+        # exchange cut-incident marks
+        channel.a_to_b([(repr(v), marks[v]) for v in cut_vertices
+                        if v in alice])
+        channel.b_to_a([(repr(v), marks[v]) for v in cut_vertices
+                        if v not in alice])
+        # partial cut weights per side
+        weight_a = sum(g.edge_weight(u, v) for u, v in g.edges()
+                       if u in alice and v in alice
+                       and marks[u] != marks[v])
+        weight_b = sum(g.edge_weight(u, v) for u, v in g.edges()
+                       if u not in alice and v not in alice
+                       and marks[u] != marks[v])
+        weight_cut = sum(g.edge_weight(u, v) for u, v in g.edges()
+                         if (u in alice) != (v in alice)
+                         and marks[u] != marks[v])
+        channel.a_to_b(int(weight_a))
+        channel.b_to_a(int(weight_b))
+        total = weight_a + weight_b + weight_cut
+        return total <= k - 1  # integer capacities: cut < k proves MF < k
+
+    return NondeterministicProtocol(name="maxflow<k", prover=prover,
+                                    verifier=verifier)

@@ -1,0 +1,86 @@
+"""Proof labeling schemes (Section 5.2.2, Lemma 5.1, Claims 5.12-5.13).
+
+A PLS for a predicate P consists of a *prover* assigning each vertex a
+label and a *local verifier* run at every vertex with access to its own
+state, its label, and its neighbours' labels.  Completeness: P-instances
+have an all-accepting labeling.  Soundness: on non-P instances every
+labeling is rejected somewhere.  Theorem 5.1 compiles any PLS into a
+nondeterministic two-party protocol of cost O(pls-size · |Ecut|), which
+bounds what Theorem 1.1 can prove (Corollary 5.3).
+"""
+
+from repro.pls.scheme import (
+    PlsInstance,
+    ProofLabelingScheme,
+    check_completeness,
+    check_soundness_samples,
+    max_label_bits,
+)
+from repro.pls.trees import (
+    SpanningTreePls,
+    AcyclicityPls,
+    SimplePathPls,
+    HamiltonianCycleVerificationPls,
+    NotHamiltonianCyclePls,
+    NotSpanningTreePls,
+)
+from repro.pls.connectivity import (
+    ConnectivityPls,
+    NonConnectivityPls,
+    StConnectivityPls,
+    NonStConnectivityPls,
+    ConnectedSpanningSubgraphPls,
+    NotConnectedSpanningSubgraphPls,
+    CyclePls,
+    NoCyclePls,
+    ECyclePls,
+    NoECyclePls,
+    BipartitePls,
+    NonBipartitePls,
+    CutPls,
+    NotCutPls,
+    StCutPls,
+    NotStCutPls,
+    EdgeOnAllPathsPls,
+    EdgeNotOnAllPathsPls,
+)
+from repro.pls.matching import MatchingAtLeastPls, MatchingLessThanPls
+from repro.pls.distance import DistanceAtLeastPls, DistanceLessThanPls
+from repro.pls.to_protocol import pls_to_nondeterministic_protocol
+
+__all__ = [
+    "PlsInstance",
+    "ProofLabelingScheme",
+    "check_completeness",
+    "check_soundness_samples",
+    "max_label_bits",
+    "SpanningTreePls",
+    "AcyclicityPls",
+    "SimplePathPls",
+    "HamiltonianCycleVerificationPls",
+    "NotHamiltonianCyclePls",
+    "NotSpanningTreePls",
+    "ConnectivityPls",
+    "NonConnectivityPls",
+    "StConnectivityPls",
+    "NonStConnectivityPls",
+    "ConnectedSpanningSubgraphPls",
+    "NotConnectedSpanningSubgraphPls",
+    "CyclePls",
+    "NoCyclePls",
+    "ECyclePls",
+    "NoECyclePls",
+    "BipartitePls",
+    "NonBipartitePls",
+    "CutPls",
+    "NotCutPls",
+    "StCutPls",
+    "NotStCutPls",
+    "EdgeOnAllPathsPls",
+    "EdgeNotOnAllPathsPls",
+    "MatchingAtLeastPls",
+    "MatchingLessThanPls",
+    "DistanceAtLeastPls",
+    "DistanceLessThanPls",
+    "pls_to_nondeterministic_protocol",
+]

@@ -1,0 +1,123 @@
+"""Shared label-field constructions and local checks for the PLS library.
+
+All verifier-side accessors are defensive: adversarial labels can be of
+any type, and any malformed field reads as ``None`` which every check
+rejects.  Labels are dicts with string keys; fields:
+
+- *tree field* (prefix ``p``): ``{p_root, p_parent, p_dist}`` encoding a
+  spanning tree of some graph.  The local check forces a globally
+  consistent root and strictly decreasing distances towards it, so an
+  all-accepted tree field proves the carrier graph is connected and the
+  root exists.
+- *pointer field*: a bare distance ``{d}``; ``d = 0`` marks membership
+  in a target structure and ``d > 0`` requires a neighbour with ``d-1``,
+  proving the structure is non-empty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, Optional, Set
+
+from repro.graphs import Graph, Vertex
+
+Labels = Dict[Vertex, Any]
+
+
+def get_field(labels: Labels, v: Vertex, key: str) -> Any:
+    lab = labels.get(v)
+    if not isinstance(lab, dict):
+        return None
+    return lab.get(key)
+
+
+def ensure_label(labels: Labels, v: Vertex) -> Dict[str, Any]:
+    lab = labels.setdefault(v, {})
+    assert isinstance(lab, dict)
+    return lab
+
+
+# ----------------------------------------------------------------------
+# spanning tree field over an arbitrary carrier graph
+# ----------------------------------------------------------------------
+def build_tree_field(carrier: Graph, labels: Labels, prefix: str,
+                     root: Optional[Vertex] = None) -> Vertex:
+    """BFS-tree labels over ``carrier`` (must be connected); returns root."""
+    if root is None:
+        root = min(carrier.vertices(), key=repr)
+    dist = carrier.bfs_distances(root)
+    if len(dist) != carrier.n:
+        raise ValueError("carrier graph is not connected")
+    parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+    for v in carrier.vertices():
+        if v == root:
+            continue
+        parent[v] = min((w for w in carrier.neighbors(v)
+                         if dist[w] == dist[v] - 1), key=repr)
+    for v in carrier.vertices():
+        lab = ensure_label(labels, v)
+        lab[prefix + "_root"] = root
+        lab[prefix + "_parent"] = parent[v]
+        lab[prefix + "_dist"] = dist[v]
+    return root
+
+
+def check_tree_field(carrier_neighbors: Set[Vertex], labels: Labels,
+                     v: Vertex, prefix: str) -> bool:
+    """Local check of a tree field at ``v`` over its carrier neighbours.
+
+    Accepting everywhere forces: one root value shared by all (compared
+    across *all* carrier edges), the root at distance 0, and every other
+    vertex owning a carrier-neighbour parent one step closer.  Fails on
+    disconnected carriers (some vertex has no valid parent).
+    """
+    root = get_field(labels, v, prefix + "_root")
+    dist = get_field(labels, v, prefix + "_dist")
+    parent = get_field(labels, v, prefix + "_parent")
+    if root is None or not isinstance(dist, int) or dist < 0:
+        return False
+    for w in carrier_neighbors:
+        if get_field(labels, w, prefix + "_root") != root:
+            return False
+    if v == root:
+        return dist == 0 and parent is None
+    if parent is None or parent not in carrier_neighbors:
+        return False
+    wdist = get_field(labels, parent, prefix + "_dist")
+    return isinstance(wdist, int) and wdist == dist - 1
+
+
+# ----------------------------------------------------------------------
+# pointer (distance-to-structure) field over the communication graph
+# ----------------------------------------------------------------------
+def build_pointer_field(graph: Graph, labels: Labels, key: str,
+                        targets: Iterable[Vertex]) -> None:
+    targets = list(targets)
+    if not targets:
+        raise ValueError("pointer field needs a non-empty target set")
+    dist: Dict[Vertex, int] = {t: 0 for t in targets}
+    queue = deque(targets)
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    if len(dist) != graph.n:
+        raise ValueError("pointer targets unreachable from some vertex")
+    for v in graph.vertices():
+        ensure_label(labels, v)[key] = dist[v]
+
+
+def check_pointer_field(graph: Graph, labels: Labels, v: Vertex,
+                        key: str) -> Optional[bool]:
+    """Returns True if v points onward, False if malformed; a return of
+    ``None`` means v claims to *be* in the target structure (d = 0) and
+    the scheme must run its structure-local check."""
+    d = get_field(labels, v, key)
+    if not isinstance(d, int) or d < 0:
+        return False
+    if d == 0:
+        return None
+    return any(get_field(labels, w, key) == d - 1
+               for w in graph.neighbors(v))

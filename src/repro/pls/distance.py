@@ -1,0 +1,87 @@
+"""Weighted (s, t)-distance PLS (Claim 5.13).
+
+Every vertex is labelled with its weighted distance from s; each vertex
+checks its label equals the min over neighbours of their label plus the
+connecting edge weight (s checks 0), and t compares against k.  With
+strictly positive weights the fixpoint is unique, so both the ≥ k and
+the < k schemes are sound.  Unreachable vertices carry a None label,
+which their neighbours must be unable to undercut.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.graphs import Vertex
+from repro.pls._fields import ensure_label, get_field
+from repro.pls.scheme import Labels, PlsInstance, ProofLabelingScheme
+from repro.solvers.distance import dijkstra
+
+_INF = float("inf")
+
+
+class _DistanceFieldPls(ProofLabelingScheme):
+    def prove(self, instance: PlsInstance) -> Labels:
+        dist = dijkstra(instance.graph, instance.s)
+        labels: Labels = {}
+        for v in instance.graph.vertices():
+            ensure_label(labels, v)["d"] = dist.get(v)
+        return labels
+
+    def _distance_field_ok(self, instance: PlsInstance, labels: Labels,
+                           v: Vertex) -> bool:
+        d = get_field(labels, v, "d")
+        candidates = []
+        for w in instance.graph.neighbors(v):
+            wd = get_field(labels, w, "d")
+            weight = instance.graph.edge_weight(v, w)
+            if weight <= 0:
+                return False  # the scheme requires positive weights
+            if isinstance(wd, (int, float)):
+                candidates.append(wd + weight)
+        best = min(candidates, default=_INF)
+        if v == instance.s:
+            return d == 0
+        if d is None:
+            return best == _INF
+        if not isinstance(d, (int, float)):
+            return False
+        return abs(d - best) < 1e-9
+
+
+class DistanceAtLeastPls(_DistanceFieldPls):
+    """wdist(s, t) ≥ k."""
+
+    name = "distance-at-least"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        return dijkstra(instance.graph, instance.s).get(
+            instance.t, _INF) >= instance.k
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        if not self._distance_field_ok(instance, labels, v):
+            return False
+        if v == instance.t:
+            d = get_field(labels, v, "d")
+            return d is None or d >= instance.k
+        return True
+
+
+class DistanceLessThanPls(_DistanceFieldPls):
+    """wdist(s, t) < k."""
+
+    name = "distance-less-than"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        return dijkstra(instance.graph, instance.s).get(
+            instance.t, _INF) < instance.k
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        if not self._distance_field_ok(instance, labels, v):
+            return False
+        if v == instance.t:
+            d = get_field(labels, v, "d")
+            return d is not None and d < instance.k
+        return True

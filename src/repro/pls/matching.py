@@ -1,0 +1,194 @@
+"""Matching PLS (Claim 5.12): ν(G) ≥ k and ν(G) < k with O(log n) labels.
+
+The ≥ k side marks a matching and counts matched vertices over a
+spanning tree.  The < k side encodes a Tutte–Berge witness U
+(Gallai–Edmonds): component structure of G − U, per-component parity,
+and a global aggregation tree checking (n + |U| − odd(G−U))/2 ≤ k − 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.graphs import Graph, Vertex
+from repro.pls._fields import (
+    build_tree_field,
+    check_tree_field,
+    ensure_label,
+    get_field,
+)
+from repro.pls.scheme import Labels, PlsInstance, ProofLabelingScheme
+from repro.solvers.matching import (
+    max_matching,
+    max_matching_size,
+    tutte_berge_witness,
+)
+
+
+def _subtree_counts(graph: Graph, labels: Labels, prefix: str,
+                    contribution: Dict[Vertex, int], key: str) -> None:
+    """Fill ``key`` with the subtree sums of ``contribution`` over the
+    tree field ``prefix`` (children discovered via parent pointers)."""
+    children: Dict[Vertex, List[Vertex]] = {v: [] for v in graph.vertices()}
+    root = None
+    for v in graph.vertices():
+        parent = get_field(labels, v, prefix + "_parent")
+        if parent is None:
+            root = v
+        else:
+            children[parent].append(v)
+    order: List[Vertex] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(children[v])
+    for v in reversed(order):
+        total = contribution.get(v, 0)
+        for c in children[v]:
+            total += get_field(labels, c, key)
+        ensure_label(labels, v)[key] = total
+
+
+def _check_subtree_counts(instance: PlsInstance, labels: Labels, v: Vertex,
+                          prefix: str, key: str, contribution: int) -> bool:
+    count = get_field(labels, v, key)
+    if not isinstance(count, int):
+        return False
+    total = contribution
+    for w in instance.graph.neighbors(v):
+        if get_field(labels, w, prefix + "_parent") == v:
+            child_count = get_field(labels, w, key)
+            if not isinstance(child_count, int):
+                return False
+            total += child_count
+    return count == total
+
+
+class MatchingAtLeastPls(ProofLabelingScheme):
+    """ν(G) ≥ k (instance.k), with a matched-partner field and a matched-
+    vertex count over a spanning tree of G."""
+
+    name = "matching-at-least"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        return max_matching_size(instance.graph) >= instance.k
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        matching = max_matching(instance.graph)[: instance.k]
+        partner: Dict[Vertex, Vertex] = {}
+        for u, v in matching:
+            partner[u] = v
+            partner[v] = u
+        labels: Labels = {}
+        build_tree_field(instance.graph, labels, "t")
+        for v in instance.graph.vertices():
+            ensure_label(labels, v)["partner"] = partner.get(v)
+        _subtree_counts(instance.graph, labels, "t",
+                        {v: 1 for v in partner}, "count")
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        if not check_tree_field(instance.graph.neighbors(v), labels, v, "t"):
+            return False
+        partner = get_field(labels, v, "partner")
+        if partner is not None:
+            if partner not in instance.graph.neighbors(v):
+                return False
+            if get_field(labels, partner, "partner") != v:
+                return False
+        matched = 1 if partner is not None else 0
+        if not _check_subtree_counts(instance, labels, v, "t", "count",
+                                     matched):
+            return False
+        if v == get_field(labels, v, "t_root"):
+            count = get_field(labels, v, "count")
+            return count >= 2 * instance.k
+        return True
+
+
+class MatchingLessThanPls(ProofLabelingScheme):
+    """ν(G) < k, via a Tutte-Berge witness ([12]; Claim 5.12)."""
+
+    name = "matching-less-than"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        return max_matching_size(instance.graph) < instance.k
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        g = instance.graph
+        u_set = set(tutte_berge_witness(g))
+        labels: Labels = {}
+        rest = [v for v in g.vertices() if v not in u_set]
+        sub = g.induced_subgraph(rest)
+        comps = sub.connected_components()
+        # per-component tree + size counts
+        for comp in comps:
+            comp_graph = sub.induced_subgraph(comp)
+            build_tree_field(comp_graph, labels, "c")
+            _subtree_counts(comp_graph, labels, "c",
+                            {v: 1 for v in comp}, "csize")
+        for v in g.vertices():
+            ensure_label(labels, v)["in_u"] = 1 if v in u_set else 0
+        # global aggregation over a spanning tree of G: count |U| and odd
+        # components (component roots of odd csize contribute 1)
+        build_tree_field(g, labels, "t")
+        u_contrib = {v: (1 if v in u_set else 0) for v in g.vertices()}
+        odd_contrib: Dict[Vertex, int] = {}
+        for v in rest:
+            if get_field(labels, v, "c_parent") is None \
+                    and get_field(labels, v, "csize") % 2 == 1:
+                odd_contrib[v] = 1
+        _subtree_counts(g, labels, "t", u_contrib, "ucount")
+        _subtree_counts(g, labels, "t", odd_contrib, "oddcount")
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        g = instance.graph
+        in_u = get_field(labels, v, "in_u")
+        if in_u not in (0, 1):
+            return False
+        non_u_nbrs = {w for w in g.neighbors(v)
+                      if get_field(labels, w, "in_u") == 0}
+        is_comp_root = False
+        if in_u == 0:
+            # component tree over G − U; claimed components must be real
+            # components: every non-U edge stays within one claimed tree
+            if not check_tree_field(non_u_nbrs, labels, v, "c"):
+                return False
+            root = get_field(labels, v, "c_root")
+            for w in non_u_nbrs:
+                if get_field(labels, w, "c_root") != root:
+                    return False
+            # subtree size over the component tree
+            size_total = 1
+            for w in non_u_nbrs:
+                if get_field(labels, w, "c_parent") == v:
+                    ws = get_field(labels, w, "csize")
+                    if not isinstance(ws, int):
+                        return False
+                    size_total += ws
+            if get_field(labels, v, "csize") != size_total:
+                return False
+            is_comp_root = get_field(labels, v, "c_parent") is None
+        # global aggregation tree
+        if not check_tree_field(g.neighbors(v), labels, v, "t"):
+            return False
+        odd_here = 0
+        if in_u == 0 and is_comp_root \
+                and get_field(labels, v, "csize") % 2 == 1:
+            odd_here = 1
+        if not _check_subtree_counts(instance, labels, v, "t", "ucount",
+                                     in_u):
+            return False
+        if not _check_subtree_counts(instance, labels, v, "t", "oddcount",
+                                     odd_here):
+            return False
+        if v == get_field(labels, v, "t_root"):
+            ucount = get_field(labels, v, "ucount")
+            oddcount = get_field(labels, v, "oddcount")
+            # Tutte-Berge: ν ≤ (n + |U| − odd(G−U)) / 2 < k
+            return g.n + ucount - oddcount <= 2 * instance.k - 1
+        return True

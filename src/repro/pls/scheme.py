@@ -1,0 +1,142 @@
+"""PLS base classes, instances, and testing helpers."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.congest.model import message_bits
+from repro.graphs import Graph, Vertex
+
+Labels = Dict[Vertex, Any]
+EdgeKey = FrozenSet
+
+
+def edge_key(u: Vertex, v: Vertex) -> EdgeKey:
+    return frozenset((u, v))
+
+
+@dataclass
+class PlsInstance:
+    """A verification-problem instance (Section 5.2.3's setting).
+
+    ``graph`` is the communication graph G; ``subgraph`` marks H's edges;
+    ``s``, ``t``, ``e`` mark distinguished vertices/edge; ``k`` is the
+    numeric threshold for matching/distance schemes.  Every vertex knows
+    which of its incident edges are in H, whether it is s or t, whether
+    an incident edge is e, and n.
+    """
+
+    graph: Graph
+    subgraph: FrozenSet[EdgeKey] = frozenset()
+    s: Optional[Vertex] = None
+    t: Optional[Vertex] = None
+    e: Optional[EdgeKey] = None
+    k: Optional[int] = None
+
+    def h_neighbors(self, v: Vertex) -> Set[Vertex]:
+        return {w for w in self.graph.neighbors(v)
+                if edge_key(v, w) in self.subgraph}
+
+    def h_graph(self) -> Graph:
+        g = Graph()
+        g.add_vertices(self.graph.vertices())
+        for key in self.subgraph:
+            u, v = tuple(key)
+            g.add_edge(u, v)
+        return g
+
+    def complement_graph(self) -> Graph:
+        """G \\ H (same vertex set, the non-H edges)."""
+        g = Graph()
+        g.add_vertices(self.graph.vertices())
+        for u, v in self.graph.edges():
+            if edge_key(u, v) not in self.subgraph:
+                g.add_edge(u, v)
+        return g
+
+
+class ProofLabelingScheme:
+    """Base class; subclasses implement ``prove`` and ``vertex_accepts``."""
+
+    name = "pls"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        """Ground truth of the predicate this scheme certifies."""
+        raise NotImplementedError
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        """Honest labels for a YES instance."""
+        raise NotImplementedError
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        raise NotImplementedError
+
+    def verify(self, instance: PlsInstance, labels: Labels) -> bool:
+        return all(self.vertex_accepts(instance, labels, v)
+                   for v in instance.graph.vertices())
+
+
+def max_label_bits(labels: Labels) -> int:
+    """Proof size: the largest label in bits (message_bits measure)."""
+    return max((message_bits(l) for l in labels.values()), default=0)
+
+
+def check_completeness(scheme: ProofLabelingScheme,
+                       instance: PlsInstance) -> int:
+    """Prove + verify on a YES instance; returns the proof size in bits."""
+    if not scheme.applies(instance):
+        raise ValueError(f"{scheme.name}: not a YES instance")
+    labels = scheme.prove(instance)
+    if not scheme.verify(instance, labels):
+        rejecting = [v for v in instance.graph.vertices()
+                     if not scheme.vertex_accepts(instance, labels, v)]
+        raise AssertionError(
+            f"{scheme.name}: honest labels rejected at {rejecting[:3]}")
+    return max_label_bits(labels)
+
+
+def check_soundness_samples(scheme: ProofLabelingScheme,
+                            instance: PlsInstance,
+                            rng: random.Random,
+                            attempts: int = 60,
+                            donor_instances: Iterable[PlsInstance] = (),
+                            ) -> None:
+    """On a NO instance, try to fool the verifier with adversarial labels.
+
+    Tries: empty/zero labels, honest labels stolen from YES *donor*
+    instances on the same vertex set, and random mutations thereof.
+    Raises if any labeling is accepted (soundness violation).
+    """
+    if scheme.applies(instance):
+        raise ValueError(f"{scheme.name}: not a NO instance")
+    candidates: List[Labels] = [
+        {v: None for v in instance.graph.vertices()},
+        {v: 0 for v in instance.graph.vertices()},
+    ]
+    donor_labels: List[Labels] = []
+    for donor in donor_instances:
+        try:
+            donor_labels.append(scheme.prove(donor))
+        except Exception:
+            continue
+    candidates.extend(donor_labels)
+    pool: List[Any] = [l for lab in donor_labels for l in lab.values()]
+    vertices = instance.graph.vertices()
+    for __ in range(attempts):
+        if pool:
+            cand = {v: rng.choice(pool) for v in vertices}
+        else:
+            cand = {v: rng.randint(0, instance.graph.n) for v in vertices}
+        candidates.append(cand)
+        if donor_labels:
+            base = dict(rng.choice(donor_labels))
+            for v in rng.sample(vertices, max(1, len(vertices) // 4)):
+                base[v] = rng.choice(pool)
+            candidates.append(base)
+    for cand in candidates:
+        if scheme.verify(instance, cand):
+            raise AssertionError(
+                f"{scheme.name}: adversarial labels accepted on a NO instance")

@@ -1,0 +1,73 @@
+"""Theorem 5.1: compiling a PLS into a nondeterministic 2-party protocol.
+
+Given a family of lower bound graphs and a PLS for the predicate, Alice
+and Bob interpret their nondeterministic strings as the PLS labels of
+their own vertices, exchange only the labels of vertices touching the
+cut, locally simulate every vertex's verification, and exchange one
+rejection bit.  Cost: O(pls-size · |Ecut|) bits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Set, Tuple
+
+from repro.cc.nondeterministic import NondeterministicProtocol
+from repro.cc.protocol import Channel
+from repro.congest.model import message_bits
+from repro.graphs import Vertex
+from repro.pls.scheme import Labels, PlsInstance, ProofLabelingScheme
+
+
+def pls_to_nondeterministic_protocol(
+    scheme: ProofLabelingScheme,
+    build_instance: Callable[[Any, Any], PlsInstance],
+    alice_vertices: Set[Vertex],
+) -> NondeterministicProtocol:
+    """Compile ``scheme`` into a :class:`NondeterministicProtocol` over a
+    lower-bound family whose instances come from ``build_instance(x, y)``.
+
+    The honest prover runs the PLS prover and splits the labels by side.
+    The verifier exchanges cut-incident labels and simulates the local
+    checks; it accepts iff every vertex accepts.
+    """
+
+    def prover(x: Any, y: Any) -> Tuple[Labels, Labels]:
+        instance = build_instance(x, y)
+        labels = scheme.prove(instance)
+        cert_a = {v: l for v, l in labels.items() if v in alice_vertices}
+        cert_b = {v: l for v, l in labels.items() if v not in alice_vertices}
+        return cert_a, cert_b
+
+    def verifier(x: Any, cert_a: Any, y: Any, cert_b: Any,
+                 channel: Channel) -> bool:
+        instance = build_instance(x, y)
+        if not isinstance(cert_a, dict) or not isinstance(cert_b, dict):
+            return False
+        cut_vertices = set()
+        for u, v in instance.graph.edges():
+            if (u in alice_vertices) != (v in alice_vertices):
+                cut_vertices.add(u)
+                cut_vertices.add(v)
+        # exchange cut-incident labels (counted on the channel)
+        sent_a = {v: cert_a.get(v) for v in cut_vertices
+                  if v in alice_vertices}
+        sent_b = {v: cert_b.get(v) for v in cut_vertices
+                  if v not in alice_vertices}
+        channel.a_to_b(list(sent_a.items()))
+        channel.b_to_a(list(sent_b.items()))
+        labels_for_alice: Labels = dict(cert_a)
+        labels_for_alice.update(sent_b)
+        labels_for_bob: Labels = dict(cert_b)
+        labels_for_bob.update(sent_a)
+        alice_ok = all(scheme.vertex_accepts(instance, labels_for_alice, v)
+                       for v in instance.graph.vertices()
+                       if v in alice_vertices)
+        bob_ok = all(scheme.vertex_accepts(instance, labels_for_bob, v)
+                     for v in instance.graph.vertices()
+                     if v not in alice_vertices)
+        channel.a_to_b(alice_ok)
+        channel.b_to_a(bob_ok)
+        return alice_ok and bob_ok
+
+    return NondeterministicProtocol(
+        name=f"PLS[{scheme.name}]", prover=prover, verifier=verifier)

@@ -1,0 +1,396 @@
+"""Tree-shaped PLS: spanning tree, acyclicity, simple path, Hamiltonian
+cycle verification, and their negations (Lemma 5.1, items 10-12)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.graphs import Graph, Vertex
+from repro.pls._fields import (
+    build_pointer_field,
+    build_tree_field,
+    check_pointer_field,
+    check_tree_field,
+    ensure_label,
+    get_field,
+)
+from repro.pls.scheme import Labels, PlsInstance, ProofLabelingScheme, edge_key
+
+
+def _h_components(instance: PlsInstance) -> List[Set[Vertex]]:
+    return instance.h_graph().connected_components()
+
+
+class SpanningTreePls(ProofLabelingScheme):
+    """H is a spanning tree of G (Lemma 5.1, item 11, positive side)."""
+
+    name = "spanning-tree"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        h = instance.h_graph()
+        return h.is_connected() and h.m == h.n - 1 and h.n == instance.graph.n
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        labels: Labels = {}
+        build_tree_field(instance.h_graph(), labels, "t")
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        h_nbrs = instance.h_neighbors(v)
+        if not check_tree_field(h_nbrs, labels, v, "t"):
+            return False
+        # all-roots consistency must also travel across non-H edges,
+        # otherwise two components could each validate their own tree
+        root = get_field(labels, v, "t_root")
+        for w in instance.graph.neighbors(v):
+            if get_field(labels, w, "t_root") != root:
+                return False
+        # every incident H edge must be a tree (parent-child) edge
+        for w in h_nbrs:
+            if get_field(labels, v, "t_parent") != w \
+                    and get_field(labels, w, "t_parent") != v:
+                return False
+        return True
+
+
+class AcyclicityPls(ProofLabelingScheme):
+    """H contains no cycle ([4]; used by Lemma 5.1 item 2's negation)."""
+
+    name = "acyclicity"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        h = instance.h_graph()
+        return all(len(comp) - 1 ==
+                   h.induced_subgraph(comp).m
+                   for comp in h.connected_components())
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        labels: Labels = {}
+        h = instance.h_graph()
+        for comp in h.connected_components():
+            build_tree_field(h.induced_subgraph(comp), labels, "f")
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        h_nbrs = instance.h_neighbors(v)
+        if not h_nbrs:
+            return True
+        dist = get_field(labels, v, "f_dist")
+        parent = get_field(labels, v, "f_parent")
+        if not isinstance(dist, int) or dist < 0:
+            return False
+        if parent is not None:
+            if parent not in h_nbrs:
+                return False
+            pdist = get_field(labels, parent, "f_dist")
+            if not isinstance(pdist, int) or pdist != dist - 1:
+                return False
+        # every H edge must be parent-child (rules out cycles)
+        for w in h_nbrs:
+            if get_field(labels, v, "f_parent") != w \
+                    and get_field(labels, w, "f_parent") != v:
+                return False
+        return True
+
+
+class SimplePathPls(ProofLabelingScheme):
+    """H is a single simple path with at least one edge (item 12)."""
+
+    name = "simple-path"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        h = instance.h_graph()
+        touched = [v for v in h.vertices() if h.degree(v) > 0]
+        if not touched:
+            return False
+        sub = h.induced_subgraph(touched)
+        if not sub.is_connected() or sub.m != sub.n - 1:
+            return False
+        return all(sub.degree(v) <= 2 for v in touched)
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        h = instance.h_graph()
+        touched = [v for v in h.vertices() if h.degree(v) > 0]
+        ends = [v for v in touched if h.degree(v) == 1]
+        start = min(ends, key=repr)
+        order = [start]
+        prev = None
+        while True:
+            nxt = [w for w in h.neighbors(order[-1]) if w != prev]
+            if not nxt:
+                break
+            prev = order[-1]
+            order.append(nxt[0])
+        labels: Labels = {}
+        for idx, v in enumerate(order, start=1):
+            ensure_label(labels, v)["idx"] = idx
+        for v in instance.graph.vertices():
+            ensure_label(labels, v)["one"] = start
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        one = get_field(labels, v, "one")
+        if one is None:
+            return False
+        for w in instance.graph.neighbors(v):
+            if get_field(labels, w, "one") != one:
+                return False
+        h_nbrs = instance.h_neighbors(v)
+        idx = get_field(labels, v, "idx")
+        if not h_nbrs:
+            return idx is None or not isinstance(idx, int)
+        if not isinstance(idx, int) or idx < 1:
+            return False
+        nbr_idx = sorted(get_field(labels, w, "idx") for w in h_nbrs
+                         if isinstance(get_field(labels, w, "idx"), int))
+        if len(nbr_idx) != len(h_nbrs):
+            return False
+        if idx == 1:
+            if v != one:
+                return False
+            return len(h_nbrs) == 1 and nbr_idx == [2]
+        if len(h_nbrs) == 1:
+            return nbr_idx == [idx - 1]       # the far end of the path
+        if len(h_nbrs) == 2:
+            return nbr_idx == [idx - 1, idx + 1]
+        return False
+
+
+class HamiltonianCycleVerificationPls(ProofLabelingScheme):
+    """H is a Hamiltonian cycle of G (item 10, positive side)."""
+
+    name = "hamiltonian-cycle"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        h = instance.h_graph()
+        return (h.n >= 3 and h.is_connected()
+                and all(h.degree(v) == 2 for v in h.vertices()))
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        h = instance.h_graph()
+        start = min(h.vertices(), key=repr)
+        order = [start]
+        prev = None
+        while len(order) < h.n:
+            nxt = [w for w in h.neighbors(order[-1]) if w != prev]
+            prev = order[-1]
+            order.append(min(nxt, key=repr) if len(order) == 1 else nxt[0])
+        labels: Labels = {}
+        for idx, v in enumerate(order):
+            ensure_label(labels, v)["idx"] = idx
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        n = instance.graph.n
+        h_nbrs = instance.h_neighbors(v)
+        if len(h_nbrs) != 2 or n < 3:
+            return False
+        idx = get_field(labels, v, "idx")
+        if not isinstance(idx, int) or not 0 <= idx < n:
+            return False
+        want = {(idx - 1) % n, (idx + 1) % n}
+        got = {get_field(labels, w, "idx") for w in h_nbrs}
+        return got == want
+
+
+def _consecutive_cycle_check(instance: PlsInstance, labels: Labels,
+                             v: Vertex, idx_key: str, d_key: str,
+                             length_ok) -> bool:
+    """Structure check shared by the short-cycle / odd-cycle schemes.
+
+    d = 0 vertices carry a consecutive enumeration 1..x; vertex 1 sees
+    neighbours {2, x} with ``length_ok(x)``; interior i sees {i−1, i+1};
+    the last vertex sees {i−1, 1}.  Accepting everywhere yields a real
+    cycle of admissible length in H.
+    """
+    in_set = [w for w in instance.h_neighbors(v)
+              if get_field(labels, w, d_key) == 0]
+    if len(in_set) != 2:
+        return False
+    idx = get_field(labels, v, idx_key)
+    if not isinstance(idx, int) or idx < 1:
+        return False
+    nbr_idx = [get_field(labels, w, idx_key) for w in in_set]
+    if not all(isinstance(i, int) for i in nbr_idx):
+        return False
+    a, b = sorted(nbr_idx)
+    if idx == 1:
+        return a == 2 and b >= 3 and length_ok(b)
+    # interior or closing vertex
+    return (a, b) == (idx - 1, idx + 1) or \
+        ((a, b) == (1, idx - 1) and length_ok(idx))
+
+
+class NotHamiltonianCyclePls(ProofLabelingScheme):
+    """H is not a Hamiltonian cycle (item 10, negative side).
+
+    Case 0: some vertex has H-degree ≠ 2 — pointer to it.
+    Case 1: all degrees are 2 but H splits into several cycles — pointer
+    to one cycle, consecutively enumerated with length x < n.
+    """
+
+    name = "not-hamiltonian-cycle"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        return not HamiltonianCycleVerificationPls().applies(instance)
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        h = instance.h_graph()
+        labels: Labels = {}
+        bad = [v for v in h.vertices() if h.degree(v) != 2]
+        if bad or h.n < 3:
+            target = bad[0] if bad else min(h.vertices(), key=repr)
+            for v in instance.graph.vertices():
+                ensure_label(labels, v)["case"] = 0
+            build_pointer_field(instance.graph, labels, "d", [target])
+            return labels
+        comp = min(h.connected_components(), key=len)
+        start = min(comp, key=repr)
+        order = [start]
+        prev = None
+        while True:
+            nxt = [w for w in h.neighbors(order[-1]) if w != prev]
+            prev = order[-1]
+            step = min(nxt, key=repr) if len(order) == 1 else nxt[0]
+            if step == start:
+                break
+            order.append(step)
+        for v in instance.graph.vertices():
+            ensure_label(labels, v)["case"] = 1
+        for idx, v in enumerate(order, start=1):
+            ensure_label(labels, v)["idx"] = idx
+        build_pointer_field(instance.graph, labels, "d", order)
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        case = get_field(labels, v, "case")
+        if case not in (0, 1):
+            return False
+        for w in instance.graph.neighbors(v):
+            if get_field(labels, w, "case") != case:
+                return False
+        ptr = check_pointer_field(instance.graph, labels, v, "d")
+        if ptr is False:
+            return False
+        if ptr is True:
+            return True
+        # d == 0: structure-local check
+        if case == 0:
+            return len(instance.h_neighbors(v)) != 2 or instance.graph.n < 3
+        n = instance.graph.n
+        return _consecutive_cycle_check(instance, labels, v, "idx", "d",
+                                        lambda x: x < n)
+
+
+class NotSpanningTreePls(ProofLabelingScheme):
+    """H is not a spanning tree (item 11, negative side): either an
+    H-isolated vertex (case 0), a cycle in H (case 1), or H is an
+    acyclic spanning forest with ≥ 2 components (case 2)."""
+
+    name = "not-spanning-tree"
+
+    def applies(self, instance: PlsInstance) -> bool:
+        return not SpanningTreePls().applies(instance)
+
+    def prove(self, instance: PlsInstance) -> Labels:
+        h = instance.h_graph()
+        labels: Labels = {}
+        isolated = [v for v in h.vertices() if h.degree(v) == 0]
+        if isolated:
+            for v in instance.graph.vertices():
+                ensure_label(labels, v)["case"] = 0
+            build_pointer_field(instance.graph, labels, "d", [isolated[0]])
+            return labels
+        cyclic = [comp for comp in h.connected_components()
+                  if h.induced_subgraph(comp).m >= len(comp)]
+        if cyclic:
+            comp_graph = h.induced_subgraph(cyclic[0])
+            cycle = _find_cycle(comp_graph)
+            for v in instance.graph.vertices():
+                ensure_label(labels, v)["case"] = 1
+            for idx, u in enumerate(cycle, start=1):
+                ensure_label(labels, u)["idx"] = idx
+            build_pointer_field(instance.graph, labels, "d", cycle)
+            return labels
+        # acyclic forest, several components: non-connectivity marks
+        comps = h.connected_components()
+        comp0 = comps[0]
+        for v in instance.graph.vertices():
+            lab = ensure_label(labels, v)
+            lab["case"] = 2
+            lab["mark"] = 0 if v in comp0 else 1
+        zero = min(comp0, key=repr)
+        one = min((v for v in instance.graph.vertices()
+                   if v not in comp0), key=repr)
+        build_tree_field(instance.graph, labels, "t0", root=zero)
+        build_tree_field(instance.graph, labels, "t1", root=one)
+        return labels
+
+    def vertex_accepts(self, instance: PlsInstance, labels: Labels,
+                       v: Vertex) -> bool:
+        case = get_field(labels, v, "case")
+        if case not in (0, 1, 2):
+            return False
+        for w in instance.graph.neighbors(v):
+            if get_field(labels, w, "case") != case:
+                return False
+        if case in (0, 1):
+            ptr = check_pointer_field(instance.graph, labels, v, "d")
+            if ptr is False:
+                return False
+            if ptr is True:
+                return True
+            if case == 0:
+                return len(instance.h_neighbors(v)) == 0
+            return _consecutive_cycle_check(instance, labels, v, "idx", "d",
+                                            lambda x: True)
+        # case 2: two-sided marks with monochromatic H edges and both
+        # marks certified non-empty by G-spanning trees rooted at them
+        mark = get_field(labels, v, "mark")
+        if mark not in (0, 1):
+            return False
+        for w in instance.h_neighbors(v):
+            if get_field(labels, w, "mark") != mark:
+                return False
+        for prefix, want in (("t0", 0), ("t1", 1)):
+            if not check_tree_field(instance.graph.neighbors(v), labels, v,
+                                    prefix):
+                return False
+            root = get_field(labels, v, prefix + "_root")
+            if v == root and mark != want:
+                return False
+        return True
+
+
+def _find_cycle(graph: Graph) -> List[Vertex]:
+    """Some cycle of a graph with m ≥ n on a component (DFS back edge)."""
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    for start in graph.vertices():
+        if start in parent:
+            continue
+        parent[start] = None
+        stack = [(start, iter(graph.neighbors(start)))]
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                if w == parent[v]:
+                    continue
+                if w in parent:
+                    # back edge: recover the cycle v .. w
+                    cycle = [v]
+                    while cycle[-1] != w:
+                        cycle.append(parent[cycle[-1]])
+                    return cycle
+                parent[w] = v
+                stack.append((w, iter(graph.neighbors(w))))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+    raise ValueError("graph is acyclic")

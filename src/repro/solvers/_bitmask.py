@@ -1,0 +1,66 @@
+"""Bitmask indexing shared by the exact solvers.
+
+Solvers index the vertex set as ``0..n-1`` and represent vertex subsets as
+Python integers, which keeps the branch-and-bound inner loops allocation
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graphs import Graph, Vertex
+
+
+class BitGraph:
+    """Adjacency-in-bitmask view of an undirected :class:`Graph`."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.vertices: List[Vertex] = list(graph.vertices())
+        self.index: Dict[Vertex, int] = {v: i for i, v in enumerate(self.vertices)}
+        self.n = len(self.vertices)
+        self.adj: List[int] = [0] * self.n
+        for u, v in graph.edges():
+            iu, iv = self.index[u], self.index[v]
+            self.adj[iu] |= 1 << iv
+            self.adj[iv] |= 1 << iu
+        self.weights: List[float] = [graph.vertex_weight(v) for v in self.vertices]
+        self.full_mask = (1 << self.n) - 1
+
+    def closed(self, i: int) -> int:
+        """Closed neighbourhood of vertex index ``i`` as a mask."""
+        return self.adj[i] | (1 << i)
+
+    def mask_of(self, vs: Sequence[Vertex]) -> int:
+        mask = 0
+        for v in vs:
+            mask |= 1 << self.index[v]
+        return mask
+
+    def unmask(self, mask: int) -> List[Vertex]:
+        out = []
+        i = 0
+        while mask:
+            if mask & 1:
+                out.append(self.vertices[i])
+            mask >>= 1
+            i += 1
+        return out
+
+
+def iter_bits(mask: int):
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    i = 0
+    while mask:
+        if mask & 1:
+            yield i
+        mask >>= 1
+        i += 1
+
+
+def popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+def lowest_bit(mask: int) -> int:
+    return (mask & -mask).bit_length() - 1

@@ -1,0 +1,45 @@
+"""Weighted shortest paths (Dijkstra) for the distance PLS (Claim 5.13)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Union
+
+from repro.graphs import DiGraph, Graph, Vertex
+
+_INF = float("inf")
+AnyGraph = Union[Graph, DiGraph]
+
+
+def dijkstra(graph: AnyGraph, source: Vertex) -> Dict[Vertex, float]:
+    """Weighted distances from ``source``; unreachable vertices omitted.
+
+    Edge weights must be non-negative (default weight 1).
+    """
+    if isinstance(graph, DiGraph):
+        def neighbors(v):
+            return graph.successors(v)
+    else:
+        def neighbors(v):
+            return graph.neighbors(v)
+
+    dist: Dict[Vertex, float] = {source: 0.0}
+    heap = [(0.0, id(source), source)]
+    while heap:
+        du, __, u = heapq.heappop(heap)
+        if du > dist.get(u, _INF):
+            continue
+        for v in neighbors(u):
+            w = graph.edge_weight(u, v)
+            if w < 0:
+                raise ValueError("negative edge weight")
+            alt = du + w
+            if alt < dist.get(v, _INF):
+                dist[v] = alt
+                heapq.heappush(heap, (alt, id(v), v))
+    return dist
+
+
+def weighted_distance(graph: AnyGraph, s: Vertex, t: Vertex) -> float:
+    """Weighted s-t distance (inf if unreachable)."""
+    return dijkstra(graph, s).get(t, _INF)

@@ -1,0 +1,264 @@
+"""Exact Hamiltonian path / cycle search for directed and undirected graphs.
+
+The Figure 2 family (Theorem 2.2) is highly corridor-like: most vertices
+have out-degree 2-3 and wrong turns strand a vertex quickly.  A DFS with
+two structural prunes — reachability of all unvisited vertices from the
+current head, and at most one unvisited vertex with no remaining
+out-neighbour — decides these instances fast despite their size.
+
+A Held–Karp dynamic program (n ≤ 18) is included as an independent
+cross-check used by the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.graphs import DiGraph, Graph, Vertex
+
+AnyGraph = Union[Graph, DiGraph]
+
+
+def _as_digraph(graph: AnyGraph) -> DiGraph:
+    if isinstance(graph, DiGraph):
+        return graph
+    dg = DiGraph()
+    for v in graph.vertices():
+        dg.add_vertex(v)
+    for u, v in graph.edges():
+        dg.add_edge(u, v)
+        dg.add_edge(v, u)
+    return dg
+
+
+def is_hamiltonian_path(graph: AnyGraph, path: Sequence[Vertex]) -> bool:
+    """Check that ``path`` visits every vertex exactly once along edges."""
+    dg = _as_digraph(graph)
+    path = list(path)
+    if len(path) != dg.n or len(set(path)) != dg.n:
+        return False
+    return all(dg.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+def is_hamiltonian_cycle(graph: AnyGraph, cycle: Sequence[Vertex]) -> bool:
+    """Check that ``cycle`` (without repeated first vertex) is Hamiltonian."""
+    cycle = list(cycle)
+    dg = _as_digraph(graph)
+    if len(cycle) != dg.n:
+        return False
+    return (is_hamiltonian_path(graph, cycle)
+            and dg.has_edge(cycle[-1], cycle[0]))
+
+
+class _HamSolver:
+    def __init__(self, dg: DiGraph) -> None:
+        self.vertices = list(dg.vertices())
+        self.index = {v: i for i, v in enumerate(self.vertices)}
+        self.n = len(self.vertices)
+        self.succ: List[List[int]] = [[] for __ in range(self.n)]
+        self.pred: List[List[int]] = [[] for __ in range(self.n)]
+        for u, v in dg.edges():
+            self.succ[self.index[u]].append(self.index[v])
+            self.pred[self.index[v]].append(self.index[u])
+        self.nodes_expanded = 0
+
+    def _viable(self, visited: List[bool], head: int, target: Optional[int]) -> bool:
+        """Prunes: every unvisited vertex reachable from ``head``; at most
+        one unvisited dead end (and it must be ``target`` if specified)."""
+        n = self.n
+        # reachability over unvisited vertices
+        seen = [False] * n
+        seen[head] = True
+        queue = deque([head])
+        reached = 0
+        while queue:
+            u = queue.popleft()
+            for w in self.succ[u]:
+                if not visited[w] and not seen[w]:
+                    seen[w] = True
+                    reached += 1
+                    queue.append(w)
+        unvisited = n - sum(visited)
+        if reached < unvisited:
+            return False
+        # dead-end counting
+        dead = 0
+        for v in range(n):
+            if visited[v] or v == head:
+                continue
+            if not any(not visited[w] for w in self.succ[v]):
+                dead += 1
+                if target is not None and v != target:
+                    return False
+                if dead > 1:
+                    return False
+        return True
+
+    def path(self, source: Optional[int], target: Optional[int]) -> Optional[List[int]]:
+        starts = [source] if source is not None else list(range(self.n))
+        for s in starts:
+            visited = [False] * self.n
+            visited[s] = True
+            path = [s]
+            if self._dfs(visited, path, target):
+                return path
+        return None
+
+    def _dfs(self, visited: List[bool], path: List[int],
+             target: Optional[int]) -> bool:
+        self.nodes_expanded += 1
+        head = path[-1]
+        if len(path) == self.n:
+            return target is None or head == target
+        if not self._viable(visited, head, target):
+            return False
+        # most-constrained-successor ordering
+        options = [w for w in self.succ[head] if not visited[w]]
+        options.sort(key=lambda w: sum(1 for x in self.succ[w] if not visited[x]))
+        for w in options:
+            if target is not None and w == target and len(path) != self.n - 1:
+                continue
+            visited[w] = True
+            path.append(w)
+            if self._dfs(visited, path, target):
+                return True
+            path.pop()
+            visited[w] = False
+        return False
+
+    def cycle(self) -> Optional[List[int]]:
+        if self.n == 0:
+            return None
+        s = 0
+        visited = [False] * self.n
+        visited[s] = True
+        path = [s]
+        if self._dfs_cycle(visited, path, s):
+            return path
+        return None
+
+    def _dfs_cycle(self, visited: List[bool], path: List[int], start: int) -> bool:
+        self.nodes_expanded += 1
+        head = path[-1]
+        if len(path) == self.n:
+            return start in self.succ[head]
+        if not self._viable_cycle(visited, head, start):
+            return False
+        options = [w for w in self.succ[head] if not visited[w]]
+        options.sort(key=lambda w: sum(1 for x in self.succ[w] if not visited[x]))
+        for w in options:
+            visited[w] = True
+            path.append(w)
+            if self._dfs_cycle(visited, path, start):
+                return True
+            path.pop()
+            visited[w] = False
+        return False
+
+    def _viable_cycle(self, visited: List[bool], head: int, start: int) -> bool:
+        n = self.n
+        seen = [False] * n
+        seen[head] = True
+        queue = deque([head])
+        reached = 0
+        while queue:
+            u = queue.popleft()
+            for w in self.succ[u]:
+                if not visited[w] and not seen[w]:
+                    seen[w] = True
+                    reached += 1
+                    queue.append(w)
+        if reached < n - sum(visited):
+            return False
+        for v in range(n):
+            if visited[v] or v == head:
+                continue
+            # in a cycle, an unvisited vertex may step back to `start`
+            if not any((not visited[w]) or w == start for w in self.succ[v]):
+                return False
+        return True
+
+
+def find_hamiltonian_path(
+    graph: AnyGraph,
+    source: Optional[Vertex] = None,
+    target: Optional[Vertex] = None,
+) -> Optional[List[Vertex]]:
+    """Find a Hamiltonian path (optionally with fixed endpoints), or None."""
+    dg = _as_digraph(graph)
+    if dg.n == 0:
+        return None
+    if dg.n == 1:
+        only = dg.vertices()[0]
+        if source not in (None, only) or target not in (None, only):
+            return None
+        return [only]
+    solver = _HamSolver(dg)
+    src = solver.index[source] if source is not None else None
+    tgt = solver.index[target] if target is not None else None
+    if src is None:
+        # a vertex with in-degree 0 must start any Hamiltonian path
+        zero_in = [i for i in range(solver.n) if not solver.pred[i]]
+        if len(zero_in) > 1:
+            return None
+        if len(zero_in) == 1:
+            src = zero_in[0]
+    result = solver.path(src, tgt)
+    if result is None:
+        return None
+    return [solver.vertices[i] for i in result]
+
+
+def find_hamiltonian_cycle(graph: AnyGraph) -> Optional[List[Vertex]]:
+    """Find a Hamiltonian cycle (returned without repeating the start)."""
+    dg = _as_digraph(graph)
+    if dg.n < 2:
+        return None
+    solver = _HamSolver(dg)
+    result = solver.cycle()
+    if result is None:
+        return None
+    return [solver.vertices[i] for i in result]
+
+
+def has_hamiltonian_path(graph: AnyGraph, source: Optional[Vertex] = None,
+                         target: Optional[Vertex] = None) -> bool:
+    return find_hamiltonian_path(graph, source=source, target=target) is not None
+
+
+def has_hamiltonian_cycle(graph: AnyGraph) -> bool:
+    return find_hamiltonian_cycle(graph) is not None
+
+
+def held_karp_has_path(graph: AnyGraph) -> bool:
+    """O(2^n n^2) dynamic program; independent cross-check for n ≤ 18."""
+    dg = _as_digraph(graph)
+    n = dg.n
+    if n > 18:
+        raise ValueError("Held-Karp cross-check limited to 18 vertices")
+    if n == 0:
+        return False
+    vertices = list(dg.vertices())
+    index = {v: i for i, v in enumerate(vertices)}
+    succ = [[index[w] for w in dg.successors(v)] for v in vertices]
+    # reach[mask] = set of possible path heads visiting exactly `mask`
+    reach: Dict[int, int] = {1 << i: 1 << i for i in range(n)}
+    frontier = dict(reach)
+    for __ in range(n - 1):
+        nxt: Dict[int, int] = {}
+        for mask, heads in frontier.items():
+            h = heads
+            while h:
+                i = (h & -h).bit_length() - 1
+                h &= h - 1
+                for w in succ[i]:
+                    bit = 1 << w
+                    if not mask & bit:
+                        key = mask | bit
+                        nxt[key] = nxt.get(key, 0) | bit
+        frontier = nxt
+        if not frontier:
+            return False
+    full = (1 << n) - 1
+    return bool(frontier.get(full, 0))

@@ -1,0 +1,102 @@
+"""Exact maximum (weighted) cut.
+
+Uses Gray-code enumeration with incremental weight updates: consecutive
+subsets differ by one vertex, so each step costs one degree.  Vertex 0 is
+fixed on one side by symmetry.  Practical up to roughly n = 26, which
+covers the k = 2 instance of the Figure 3 family (Theorem 2.8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.graphs import Graph, Vertex
+from repro.solvers._bitmask import BitGraph
+
+
+def cut_weight(graph: Graph, side: Sequence[Vertex]) -> float:
+    """Total weight of edges crossing the cut ``(side, V - side)``."""
+    s: Set[Vertex] = set(side)
+    return sum(graph.edge_weight(u, v)
+               for u, v in graph.edges() if (u in s) != (v in s))
+
+
+def max_cut_vectorized(graph: Graph, limit: int = 25) -> Tuple[float, List[Vertex]]:
+    """Exact max cut via a vectorized sweep over all 2^(n-1) sides.
+
+    Evaluates every cut with one numpy pass per edge; faster than the
+    Gray-code walk for the Figure 3 instances (n ≈ 21 at k = 2).
+    """
+    import numpy as np
+
+    n = graph.n
+    if n > limit:
+        raise ValueError(f"vectorized max-cut limited to {limit} vertices, got {n}")
+    if n <= 1:
+        return 0.0, []
+    bg = BitGraph(graph)
+    masks = np.arange(1 << (n - 1), dtype=np.int64)
+    totals = np.zeros(len(masks), dtype=np.float64)
+    for u, v in graph.edges():
+        iu, iv = bg.index[u], bg.index[v]
+        w = graph.edge_weight(u, v)
+        # vertex n-1 is pinned to side 0, so shifts past n-2 read as 0
+        bu = (masks >> iu) & 1 if iu < n - 1 else np.zeros(len(masks), dtype=np.int64)
+        bv = (masks >> iv) & 1 if iv < n - 1 else np.zeros(len(masks), dtype=np.int64)
+        totals += w * (bu ^ bv)
+    best_idx = int(np.argmax(totals))
+    best = float(totals[best_idx])
+    side = [bg.vertices[i] for i in range(n - 1) if (best_idx >> i) & 1]
+    return best, side
+
+
+def max_cut(graph: Graph, limit: int = 28) -> Tuple[float, List[Vertex]]:
+    """Return ``(weight, side)`` of a maximum weight cut.
+
+    Raises ``ValueError`` above ``limit`` vertices; the enumeration is
+    Θ(2^n) steps and callers should not trip into it by accident.
+    """
+    n = graph.n
+    if n > limit:
+        raise ValueError(f"exact max-cut limited to {limit} vertices, got {n}")
+    if n <= 1:
+        return 0.0, []
+    if 16 < n <= 25:
+        return max_cut_vectorized(graph)
+    bg = BitGraph(graph)
+    # weighted adjacency lists over indices
+    wadj: List[List[Tuple[int, float]]] = [[] for __ in range(n)]
+    for u, v in graph.edges():
+        iu, iv = bg.index[u], bg.index[v]
+        w = graph.edge_weight(u, v)
+        wadj[iu].append((iv, w))
+        wadj[iv].append((iu, w))
+
+    side = [0] * n  # side[i] in {0, 1}; vertex n-1 pinned to side 0
+    current = 0.0
+    best = 0.0
+    best_mask = 0
+    mask = 0
+    steps = 1 << (n - 1)
+    for step in range(1, steps):
+        # Gray code: flip the position of the lowest set bit of `step`
+        flip = (step & -step).bit_length() - 1
+        delta = 0.0
+        sv = side[flip]
+        for j, w in wadj[flip]:
+            if side[j] == sv:
+                delta += w  # becomes a cut edge
+            else:
+                delta -= w  # stops being a cut edge
+        side[flip] ^= 1
+        mask ^= 1 << flip
+        current += delta
+        if current > best:
+            best = current
+            best_mask = mask
+    return best, bg.unmask(best_mask)
+
+
+def max_cut_value(graph: Graph, limit: int = 28) -> float:
+    value, __ = max_cut(graph, limit=limit)
+    return value

@@ -1,0 +1,73 @@
+"""Exact MaxSAT by exhaustive search with component decomposition.
+
+Used to verify Claims 3.1 and 3.3 and Corollary 3.1 on small formulas.
+Variables interacting in no common clause are solved independently, which
+keeps the expander-gadget formulas of Section 3.1 within reach.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Tuple
+
+from repro.formulas.cnf import CNF, Variable
+
+
+def _variable_components(cnf: CNF) -> List[List[Variable]]:
+    adj: Dict[Variable, set] = {v: set() for v in cnf.variables()}
+    for clause in cnf.clauses:
+        vars_in = [v for v, __ in clause]
+        for i, u in enumerate(vars_in):
+            for w in vars_in[i + 1:]:
+                if u != w:
+                    adj[u].add(w)
+                    adj[w].add(u)
+    comps = []
+    remaining = set(adj)
+    while remaining:
+        start = next(iter(remaining))
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for w in adj[u]:
+                if w not in comp:
+                    comp.add(w)
+                    frontier.append(w)
+        comps.append(list(comp))
+        remaining -= comp
+    return comps
+
+
+def max_sat_assignment(cnf: CNF, limit_vars: int = 24) -> Tuple[int, Dict[Variable, bool]]:
+    """Return ``(max satisfied clauses, a maximizing assignment)``.
+
+    Exhaustive per connected component of the variable-interaction graph;
+    each component must have at most ``limit_vars`` variables.
+    """
+    assignment: Dict[Variable, bool] = {}
+    total = 0
+    for comp in _variable_components(cnf):
+        if len(comp) > limit_vars:
+            raise ValueError(
+                f"component with {len(comp)} variables exceeds limit {limit_vars}")
+        comp_set = set(comp)
+        comp_clauses = CNF(c for c in cnf.clauses
+                           if any(v in comp_set for v, __ in c))
+        best = -1
+        best_assign: Dict[Variable, bool] = {}
+        for bits in product((False, True), repeat=len(comp)):
+            cand = dict(zip(comp, bits))
+            score = comp_clauses.satisfied_count(cand)
+            if score > best:
+                best = score
+                best_assign = cand
+        assignment.update(best_assign)
+        total += best
+    return total, assignment
+
+
+def max_sat_value(cnf: CNF, limit_vars: int = 24) -> int:
+    """Maximum number of simultaneously satisfiable clauses."""
+    value, __ = max_sat_assignment(cnf, limit_vars=limit_vars)
+    return value

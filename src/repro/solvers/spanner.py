@@ -1,0 +1,108 @@
+"""Minimum weighted 2-spanner (exact, by edge-subset enumeration).
+
+A 2-spanner of G is a subgraph H such that every *edge* {u, v} of G has a
+path of length at most 2 (in hops) between u and v in H.  The objective is
+the total weight of H's edges (Section 3.3, Theorem 3.4).
+
+The exact solver enumerates edge subsets in increasing weight order and is
+only meant for the small verification instances in the test-suite; a
+greedy density heuristic is provided for larger graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs import Graph, Vertex
+
+EdgeT = Tuple[Vertex, Vertex]
+
+
+def is_two_spanner(graph: Graph, edges: Sequence[EdgeT]) -> bool:
+    """True iff ``edges`` (a subset of G's edges) 2-spans every edge of G."""
+    sub = Graph()
+    sub.add_vertices(graph.vertices())
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        sub.add_edge(u, v)
+    for u, v in graph.edges():
+        if sub.has_edge(u, v):
+            continue
+        if not (sub.neighbors(u) & sub.neighbors(v)):
+            return False
+    return True
+
+
+def min_two_spanner(graph: Graph, limit_edges: int = 18) -> Tuple[float, List[EdgeT]]:
+    """Exact minimum weight 2-spanner (exponential; small graphs only).
+
+    Weight-0 edges are always included (they never hurt), so the
+    enumeration — and ``limit_edges`` — ranges over the positive-weight
+    edges only.
+    """
+    free = [e for e in graph.edges() if graph.edge_weight(*e) == 0]
+    paid = [e for e in graph.edges() if graph.edge_weight(*e) > 0]
+    if len(paid) > limit_edges:
+        raise ValueError("min_two_spanner is exponential; graph too large")
+    best_cost = sum(graph.edge_weight(u, v) for u, v in paid)
+    best: List[EdgeT] = free + paid
+    for size in range(0, len(paid) + 1):
+        for subset in combinations(paid, size):
+            cost = sum(graph.edge_weight(u, v) for u, v in subset)
+            if cost >= best_cost:
+                continue
+            if is_two_spanner(graph, free + list(subset)):
+                best_cost = cost
+                best = free + list(subset)
+    return best_cost, best
+
+
+def min_two_spanner_cost(graph: Graph, limit_edges: int = 18) -> float:
+    cost, __ = min_two_spanner(graph, limit_edges=limit_edges)
+    return cost
+
+
+def greedy_two_spanner(graph: Graph) -> List[EdgeT]:
+    """A simple valid (not optimal) 2-spanner: greedy star selection.
+
+    Repeatedly picks the vertex whose star covers the most yet-uncovered
+    edges, then adds any still-uncovered edges directly.
+    """
+    uncovered: Set[frozenset] = {frozenset(e) for e in graph.edges()}
+    chosen: List[EdgeT] = []
+    chosen_set: Set[frozenset] = set()
+
+    def cover_star(center: Vertex) -> None:
+        for w in graph.neighbors(center):
+            key = frozenset((center, w))
+            if key not in chosen_set:
+                chosen_set.add(key)
+                chosen.append((center, w))
+        # edges covered: any (u, v) with u, v both adjacent to center, plus
+        # the star edges themselves
+        nbrs = graph.neighbors(center)
+        for u in nbrs:
+            uncovered.discard(frozenset((center, u)))
+            for v in nbrs:
+                if u != v and graph.has_edge(u, v):
+                    uncovered.discard(frozenset((u, v)))
+
+    while uncovered:
+        best_v = None
+        best_gain = -1
+        for v in graph.vertices():
+            nbrs = graph.neighbors(v)
+            gain = sum(1 for e in uncovered if set(e) <= nbrs | {v})
+            if gain > best_gain:
+                best_gain = gain
+                best_v = v
+        if best_gain <= 0:
+            break
+        cover_star(best_v)
+    for e in list(uncovered):
+        u, v = tuple(e)
+        chosen.append((u, v))
+        uncovered.discard(e)
+    return chosen

@@ -1,0 +1,245 @@
+"""Exact minimum Steiner tree (Dreyfus–Wagner dynamic program).
+
+Edge-weighted, undirected; O(3^t · n + 2^t · n²) for t terminals, which is
+what the generic cross-checks in the test-suite need.  The Theorem 2.7
+family itself is verified through the structured solver in
+``repro.core.steiner`` (its terminal count makes Dreyfus–Wagner
+infeasible); the two solvers are cross-validated on small random graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs import Graph, Vertex
+
+_INF = float("inf")
+
+
+def is_steiner_tree(graph: Graph, edges: Sequence[Tuple[Vertex, Vertex]],
+                    terminals: Sequence[Vertex]) -> bool:
+    """Check that ``edges`` forms a tree (in ``graph``) spanning ``terminals``."""
+    tree = Graph()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        if tree.has_edge(u, v):
+            return False
+        tree.add_edge(u, v)
+    if tree.n == 0:
+        return len(set(terminals)) <= 1
+    if not tree.is_connected() or tree.m != tree.n - 1:
+        return False
+    return set(terminals) <= set(tree.vertices())
+
+
+def _all_pairs_dijkstra(graph: Graph) -> Dict[Vertex, Dict[Vertex, float]]:
+    dist = {}
+    for s in graph.vertices():
+        d = {s: 0.0}
+        heap = [(0.0, id(s), s)]
+        while heap:
+            du, __, u = heapq.heappop(heap)
+            if du > d.get(u, _INF):
+                continue
+            for v in graph.neighbors(u):
+                alt = du + graph.edge_weight(u, v)
+                if alt < d.get(v, _INF):
+                    d[v] = alt
+                    heapq.heappush(heap, (alt, id(v), v))
+        dist[s] = d
+    return dist
+
+
+def steiner_tree_cost(graph: Graph, terminals: Sequence[Vertex]) -> float:
+    """Minimum total edge weight of a tree spanning ``terminals``."""
+    terminals = list(dict.fromkeys(terminals))
+    t = len(terminals)
+    if t <= 1:
+        return 0.0
+    if t > 14:
+        raise ValueError("Dreyfus-Wagner limited to 14 terminals")
+    verts = graph.vertices()
+    dist = _all_pairs_dijkstra(graph)
+    base = terminals[:-1]
+    root = terminals[-1]
+    full = (1 << len(base)) - 1
+    # dp[(mask, v)] = min cost of a tree spanning base[mask] ∪ {v}
+    dp: Dict[Tuple[int, Vertex], float] = {}
+    for i, term in enumerate(base):
+        for v in verts:
+            dp[(1 << i, v)] = dist[term].get(v, _INF)
+    for size in range(2, len(base) + 1):
+        for subset in combinations(range(len(base)), size):
+            mask = 0
+            for i in subset:
+                mask |= 1 << i
+            # merge step
+            merged: Dict[Vertex, float] = {}
+            sub = (mask - 1) & mask
+            while sub:
+                if sub < mask ^ sub:  # avoid double counting partitions
+                    sub = (sub - 1) & mask
+                    continue
+                rest = mask ^ sub
+                for v in verts:
+                    c = dp.get((sub, v), _INF) + dp.get((rest, v), _INF)
+                    if c < merged.get(v, _INF):
+                        merged[v] = c
+                sub = (sub - 1) & mask
+            # propagate step (one Dijkstra-like relaxation over shortest paths)
+            for v in verts:
+                best = merged.get(v, _INF)
+                for u in verts:
+                    c = merged.get(u, _INF)
+                    if c < _INF:
+                        alt = c + dist[u].get(v, _INF)
+                        if alt < best:
+                            best = alt
+                dp[(mask, v)] = best
+    return dp.get((full, root), _INF)
+
+
+def steiner_tree(graph: Graph, terminals: Sequence[Vertex]) -> Tuple[float, List[Tuple[Vertex, Vertex]]]:
+    """Minimum Steiner tree cost plus one optimal edge set.
+
+    The edge set is recovered by re-solving on candidate vertex subsets; it
+    is intended for small instances (tests and examples).
+    """
+    cost = steiner_tree_cost(graph, terminals)
+    terminals = list(dict.fromkeys(terminals))
+    if len(terminals) <= 1:
+        return 0.0, []
+    # brute-force the Steiner vertex subset guided by the known optimum
+    others = [v for v in graph.vertices() if v not in set(terminals)]
+    for extra in range(len(others) + 1):
+        for subset in combinations(others, extra):
+            vs = set(terminals) | set(subset)
+            sub = graph.induced_subgraph(vs)
+            if not sub.is_connected():
+                continue
+            tree_edges = _min_spanning_tree(sub)
+            tree_cost = sum(graph.edge_weight(u, v) for u, v in tree_edges)
+            tree_cost, tree_edges = _prune_leaves(graph, tree_edges,
+                                                  set(terminals), tree_cost)
+            if abs(tree_cost - cost) < 1e-9:
+                return cost, tree_edges
+    raise RuntimeError("failed to recover an optimal Steiner tree")
+
+
+def min_node_weighted_steiner_cost(graph: Graph, terminals: Sequence[Vertex],
+                                   limit_candidates: int = 16) -> float:
+    """Minimum total *vertex* weight of a connected subgraph spanning
+    ``terminals`` (terminal weights are charged too, matching §4.4).
+
+    Zero-weight vertices are free and always available; the enumeration
+    ranges over the positive-weight vertices (≤ ``limit_candidates``).
+    """
+    terminals = list(dict.fromkeys(terminals))
+    if not terminals:
+        return 0.0
+    free = [v for v in graph.vertices() if graph.vertex_weight(v) == 0]
+    paid = [v for v in graph.vertices() if graph.vertex_weight(v) > 0]
+    if len(paid) > limit_candidates:
+        raise ValueError("too many positive-weight vertices to enumerate")
+    base_cost = sum(graph.vertex_weight(t) for t in terminals
+                    if graph.vertex_weight(t) > 0)
+    paid_optional = [v for v in paid if v not in set(terminals)]
+    best = _INF
+    from itertools import combinations as _comb
+
+    for size in range(0, len(paid_optional) + 1):
+        for subset in _comb(paid_optional, size):
+            cost = base_cost + sum(graph.vertex_weight(v) for v in subset)
+            if cost >= best:
+                continue
+            keep = set(free) | set(subset) | set(terminals)
+            sub = graph.induced_subgraph(keep)
+            comp_of = {}
+            for ci, comp in enumerate(sub.connected_components()):
+                for v in comp:
+                    comp_of[v] = ci
+            if len({comp_of[t] for t in terminals}) == 1:
+                best = cost
+    return best
+
+
+def min_directed_steiner_reachability_cost(dgraph, root, terminals,
+                                           limit_paid: int = 16) -> float:
+    """Minimum total *edge* weight of a sub-digraph in which every
+    terminal is reachable from ``root`` — equal to the directed Steiner
+    tree cost (a reachability subgraph prunes to a tree at no extra
+    cost).  Zero-weight edges are free; enumeration ranges over the
+    positive-weight edges."""
+    from itertools import combinations as _comb
+
+    free = [(u, v) for u, v in dgraph.edges()
+            if dgraph.edge_weight(u, v) == 0]
+    paid = [(u, v) for u, v in dgraph.edges()
+            if dgraph.edge_weight(u, v) > 0]
+    if len(paid) > limit_paid:
+        raise ValueError("too many positive-weight edges to enumerate")
+    targets = set(terminals)
+    best = _INF
+    for size in range(0, len(paid) + 1):
+        for subset in _comb(paid, size):
+            cost = sum(dgraph.edge_weight(u, v) for u, v in subset)
+            if cost >= best:
+                continue
+            succ = {}
+            for u, v in free + list(subset):
+                succ.setdefault(u, []).append(v)
+            seen = {root}
+            stack = [root]
+            while stack:
+                u = stack.pop()
+                for v in succ.get(u, ()):
+                    if v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            if targets <= seen:
+                best = cost
+    return best
+
+
+def _min_spanning_tree(graph: Graph) -> List[Tuple[Vertex, Vertex]]:
+    edges = sorted(graph.edges(), key=lambda e: graph.edge_weight(*e))
+    parent: Dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+
+    def find(v: Vertex) -> Vertex:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    out = []
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            out.append((u, v))
+    return out
+
+
+def _prune_leaves(graph: Graph, edges: List[Tuple[Vertex, Vertex]],
+                  terminals: Set[Vertex], cost: float) -> Tuple[float, List[Tuple[Vertex, Vertex]]]:
+    edges = list(edges)
+    changed = True
+    while changed:
+        changed = False
+        degree: Dict[Vertex, int] = {}
+        for u, v in edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        for u, v in list(edges):
+            for leaf, other in ((u, v), (v, u)):
+                if degree.get(leaf, 0) == 1 and leaf not in terminals:
+                    edges.remove((u, v))
+                    cost -= graph.edge_weight(u, v)
+                    changed = True
+                    break
+            if changed:
+                break
+    return cost, edges

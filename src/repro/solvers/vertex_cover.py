@@ -1,0 +1,24 @@
+"""Exact minimum vertex cover via complementation of maximum independent set."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.graphs import Graph, Vertex
+from repro.solvers.mis import max_independent_set
+
+
+def is_vertex_cover(graph: Graph, vs: Sequence[Vertex]) -> bool:
+    """True iff every edge of ``graph`` has an endpoint in ``vs``."""
+    cover: Set[Vertex] = set(vs)
+    return all(u in cover or v in cover for u, v in graph.edges())
+
+
+def min_vertex_cover(graph: Graph) -> List[Vertex]:
+    """A minimum cardinality vertex cover (complement of a maximum IS)."""
+    mis = set(max_independent_set(graph, weighted=False))
+    return [v for v in graph.vertices() if v not in mis]
+
+
+def min_vertex_cover_size(graph: Graph) -> int:
+    return len(min_vertex_cover(graph))

@@ -1,0 +1,78 @@
+"""Shared fixtures and brute-force reference implementations."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import List, Optional, Sequence, Set, Tuple
+
+import pytest
+
+from repro.graphs import Graph, Vertex
+from repro.solvers import is_dominating_set, is_independent_set, is_vertex_cover
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xDEADBEEF)
+
+
+def brute_force_mis_size(graph: Graph, weighted: bool = False) -> float:
+    """Reference maximum (weight) independent set by full enumeration."""
+    best = 0.0
+    vs = graph.vertices()
+    for r in range(len(vs) + 1):
+        for subset in combinations(vs, r):
+            if is_independent_set(graph, subset):
+                value = (sum(graph.vertex_weight(v) for v in subset)
+                         if weighted else float(r))
+                best = max(best, value)
+    return best
+
+
+def brute_force_mds_size(graph: Graph, k: int = 1) -> int:
+    vs = graph.vertices()
+    for r in range(0, len(vs) + 1):
+        for subset in combinations(vs, r):
+            if is_dominating_set(graph, subset, k=k):
+                return r
+    raise AssertionError("unreachable")
+
+
+def brute_force_mds_weight(graph: Graph, k: int = 1) -> float:
+    vs = graph.vertices()
+    best = float("inf")
+    for r in range(0, len(vs) + 1):
+        for subset in combinations(vs, r):
+            if is_dominating_set(graph, subset, k=k):
+                best = min(best, sum(graph.vertex_weight(v) for v in subset))
+    return best
+
+
+def brute_force_mvc_size(graph: Graph) -> int:
+    vs = graph.vertices()
+    for r in range(0, len(vs) + 1):
+        for subset in combinations(vs, r):
+            if is_vertex_cover(graph, subset):
+                return r
+    raise AssertionError("unreachable")
+
+
+def brute_force_max_cut(graph: Graph) -> float:
+    from repro.solvers import cut_weight
+
+    vs = graph.vertices()
+    best = 0.0
+    for r in range(len(vs) + 1):
+        for subset in combinations(vs, r):
+            best = max(best, cut_weight(graph, subset))
+    return best
+
+
+def connected_random_graph(n: int, p: float, rng: random.Random) -> Graph:
+    from repro.graphs import random_graph
+
+    g = random_graph(n, p, rng)
+    while not g.is_connected():
+        g = random_graph(n, p, rng)
+    return g

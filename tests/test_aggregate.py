@@ -1,0 +1,102 @@
+"""Convergecast/broadcast primitives, the greedy 2-spanner heuristic,
+and the DISJ-vs-EQ communication contrast."""
+
+import random
+
+import pytest
+
+from repro.cc import Channel, disjointness
+from repro.cc.randomized import (
+    disjointness_trivial_protocol,
+    equality_fingerprint_protocol,
+)
+from repro.congest.algorithms import MAX, MIN, SUM, run_aggregate
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.solvers.spanner import greedy_two_spanner, is_two_spanner
+from tests.conftest import connected_random_graph
+
+
+class TestAggregate:
+    def test_sum(self, rng):
+        g = connected_random_graph(9, 0.4, rng)
+        inputs = {v: rng.randint(0, 20) for v in g.vertices()}
+        total, sim = run_aggregate(g, inputs, SUM)
+        assert total == sum(inputs.values())
+
+    def test_max_and_min(self, rng):
+        g = cycle_graph(7)
+        inputs = {v: (v * 3) % 11 for v in g.vertices()}
+        assert run_aggregate(g, inputs, MAX)[0] == max(inputs.values())
+        assert run_aggregate(g, inputs, MIN)[0] == min(inputs.values())
+
+    def test_all_vertices_agree(self, rng):
+        g = connected_random_graph(8, 0.35, rng)
+        inputs = {v: 1 for v in g.vertices()}
+        total, sim = run_aggregate(g, inputs, SUM)
+        assert total == g.n  # counting — the Theorem 2.1 size check
+
+    def test_rounds_linear(self, rng):
+        g = path_graph(10)
+        inputs = {v: 1 for v in g.vertices()}
+        __, sim = run_aggregate(g, inputs, SUM)
+        # leader (n) + BFS (n) + announce + up/down O(D)
+        assert sim.rounds <= 2 * g.n + 2 * g.diameter() + 5
+
+    def test_two_vertices(self):
+        g = path_graph(2)
+        total, __ = run_aggregate(g, {0: 4, 1: 5}, SUM)
+        assert total == 9
+
+    def test_star_aggregation(self):
+        g = Graph()
+        for leaf in range(6):
+            g.add_edge("c", leaf)
+        inputs = {v: 2 for v in g.vertices()}
+        total, __ = run_aggregate(g, inputs, SUM)
+        assert total == 14
+
+
+class TestGreedySpanner:
+    def test_output_is_valid_spanner(self, rng):
+        for __ in range(5):
+            g = connected_random_graph(9, 0.5, rng)
+            edges = greedy_two_spanner(g)
+            assert is_two_spanner(g, edges)
+
+    def test_clique_star(self):
+        g = complete_graph(6)
+        edges = greedy_two_spanner(g)
+        assert is_two_spanner(g, edges)
+        assert len(edges) <= g.n - 1 + 2  # roughly one star
+
+    def test_sparse_graph_keeps_everything(self):
+        g = path_graph(5)
+        edges = greedy_two_spanner(g)
+        assert is_two_spanner(g, edges)
+        assert len(set(map(frozenset, edges))) == g.m
+
+
+class TestDisjVsEqContrast:
+    """The communication-complexity asymmetry the paper's choice of DISJ
+    rests on: equality has an O(log 1/δ) randomized protocol, while the
+    natural DISJ protocol pays the full K bits."""
+
+    def test_disj_protocol_correct(self, rng):
+        for __ in range(10):
+            x = tuple(rng.randint(0, 1) for _ in range(12))
+            y = tuple(rng.randint(0, 1) for _ in range(12))
+            ch = Channel()
+            assert disjointness_trivial_protocol(x, y, ch) == \
+                disjointness(x, y)
+
+    def test_cost_contrast(self, rng):
+        k = 128
+        x = tuple(rng.randint(0, 1) for _ in range(k))
+        ch_disj = Channel()
+        disjointness_trivial_protocol(x, x, ch_disj)
+        ch_eq = Channel()
+        equality_fingerprint_protocol(x, x, ch_eq, random.Random(0),
+                                      repetitions=8)
+        assert ch_disj.bits >= k          # Θ(K)
+        assert ch_eq.bits <= 16           # O(log 1/δ)
+        assert ch_disj.bits > 10 * ch_eq.bits

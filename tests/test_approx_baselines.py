@@ -1,0 +1,95 @@
+"""Sequential approximation baseline tests."""
+
+import math
+
+import pytest
+
+from repro.approx import (
+    greedy_maxis,
+    greedy_mds,
+    local_search_maxcut,
+    matching_vertex_cover,
+    random_maxcut,
+)
+from repro.graphs import complete_graph, cycle_graph, random_graph
+from repro.solvers import (
+    cut_weight,
+    is_dominating_set,
+    is_independent_set,
+    is_vertex_cover,
+    max_independent_set,
+    min_dominating_set,
+    min_vertex_cover_size,
+)
+from tests.conftest import connected_random_graph
+
+
+class TestGreedyMds:
+    def test_valid(self, rng):
+        for __ in range(5):
+            g = random_graph(10, 0.35, rng)
+            assert is_dominating_set(g, greedy_mds(g))
+
+    def test_log_delta_ratio(self, rng):
+        for __ in range(4):
+            g = random_graph(10, 0.4, rng)
+            greedy = len(greedy_mds(g))
+            opt = len(min_dominating_set(g))
+            assert greedy <= (math.log(g.max_degree() + 1) + 1) * opt
+
+    def test_star_optimal(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        for leaf in range(6):
+            g.add_edge("c", leaf)
+        assert greedy_mds(g) == ["c"]
+
+
+class TestMatchingVertexCover:
+    def test_valid(self, rng):
+        for __ in range(5):
+            g = random_graph(10, 0.4, rng)
+            assert is_vertex_cover(g, matching_vertex_cover(g))
+
+    def test_two_approx(self, rng):
+        for __ in range(5):
+            g = random_graph(10, 0.4, rng)
+            assert len(matching_vertex_cover(g)) <= \
+                2 * min_vertex_cover_size(g)
+
+
+class TestGreedyMaxIS:
+    def test_valid(self, rng):
+        for __ in range(5):
+            g = random_graph(10, 0.4, rng)
+            assert is_independent_set(g, greedy_maxis(g))
+
+    def test_min_degree_greedy_ratio(self, rng):
+        for __ in range(4):
+            g = random_graph(9, 0.4, rng)
+            greedy = len(greedy_maxis(g))
+            opt = len(max_independent_set(g))
+            # min-degree greedy: (Δ+2)/3 ratio
+            assert greedy >= opt / ((g.max_degree() + 2) / 3)
+
+
+class TestMaxCutBaselines:
+    def test_local_search_half(self, rng):
+        for __ in range(4):
+            g = random_graph(10, 0.5, rng)
+            side = local_search_maxcut(g)
+            assert cut_weight(g, side) >= g.m / 2
+
+    def test_local_search_weighted(self, rng):
+        g = connected_random_graph(9, 0.5, rng)
+        for u, v in g.edges():
+            g.set_edge_weight(u, v, rng.randint(1, 9))
+        side = local_search_maxcut(g)
+        total = g.total_edge_weight()
+        assert cut_weight(g, side) >= total / 2
+
+    def test_random_cut_is_a_cut(self, rng):
+        g = random_graph(10, 0.5, rng)
+        side = random_maxcut(g, rng)
+        assert set(side) <= set(g.vertices())

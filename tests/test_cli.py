@@ -1,0 +1,37 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_families_lists(capsys):
+    main(["families"])
+    out = capsys.readouterr().out
+    assert "mds" in out and "maxcut" in out and "steiner" in out
+
+
+def test_describe(capsys):
+    main(["describe", "mds", "-k", "4"])
+    out = capsys.readouterr().out
+    assert "MdsFamily" in out
+    assert "implied_bound" in out
+
+
+def test_verify(capsys):
+    main(["verify", "mvc", "-k", "2", "--pairs", "4"])
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "4 input pairs" in out
+
+
+def test_unknown_family():
+    with pytest.raises(SystemExit):
+        main(["describe", "nope"])
+
+
+def test_experiments_subset(capsys):
+    main(["experiments", "--only", "E-T1.1-simulation"])
+    out = capsys.readouterr().out
+    assert "E-T1.1-simulation" in out
+    assert "PASS" in out

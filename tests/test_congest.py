@@ -1,0 +1,213 @@
+"""CONGEST simulator and distributed-algorithm tests."""
+
+import pytest
+
+from repro.congest import (
+    BandwidthExceeded,
+    CongestSimulator,
+    NodeAlgorithm,
+    default_bandwidth,
+    message_bits,
+)
+from repro.congest.algorithms import (
+    run_bfs,
+    run_greedy_mds,
+    run_leader_election,
+    run_maxcut_sampling,
+    run_universal_exact,
+)
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, random_graph
+from repro.solvers import (
+    cut_weight,
+    is_dominating_set,
+    max_cut_value,
+    min_dominating_set,
+)
+from tests.conftest import connected_random_graph
+
+
+class TestMessageBits:
+    def test_small_int(self):
+        assert message_bits(0) == 1
+        assert message_bits(5) == 4
+
+    def test_bool(self):
+        assert message_bits(True) == 1
+
+    def test_none(self):
+        assert message_bits(None) == 1
+
+    def test_tuple_framing(self):
+        assert message_bits((1, 2)) > message_bits(1) + message_bits(2)
+
+    def test_string(self):
+        assert message_bits("ab") == 16
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            message_bits(object())
+
+
+class TestSimulator:
+    def test_bandwidth_default(self):
+        assert default_bandwidth(16, c=8) == 32
+
+    def test_bandwidth_enforced(self):
+        class Shout(NodeAlgorithm):
+            def on_start(self, ctx):
+                return {w: 1 << 500 for w in ctx.neighbors}
+
+            def on_round(self, ctx, messages):
+                ctx.halt()
+                return {}
+
+        sim = CongestSimulator(path_graph(3))
+        with pytest.raises(BandwidthExceeded):
+            sim.run(Shout)
+
+    def test_non_neighbor_send_rejected(self):
+        class Cheat(NodeAlgorithm):
+            def on_start(self, ctx):
+                bad = (ctx.uid + 2) % ctx.n
+                return {bad: 1}
+
+            def on_round(self, ctx, messages):
+                ctx.halt()
+                return {}
+
+        sim = CongestSimulator(path_graph(4))
+        with pytest.raises(ValueError):
+            sim.run(Cheat)
+
+    def test_round_counting(self):
+        class Wait3(NodeAlgorithm):
+            def __init__(self):
+                self.r = 0
+
+            def on_round(self, ctx, messages):
+                self.r += 1
+                if self.r == 3:
+                    ctx.halt(self.r)
+                return {}
+
+        sim = CongestSimulator(path_graph(3))
+        outputs = sim.run(Wait3)
+        assert sim.rounds == 3
+        assert all(v == 3 for v in outputs.values())
+
+    def test_max_rounds_guard(self):
+        class Forever(NodeAlgorithm):
+            def on_round(self, ctx, messages):
+                return {}
+
+        sim = CongestSimulator(path_graph(3))
+        with pytest.raises(RuntimeError):
+            sim.run(Forever, max_rounds=10)
+
+
+class TestLeaderAndBfs:
+    def test_leader_is_minimum(self, rng):
+        g = connected_random_graph(9, 0.35, rng)
+        leader, sim = run_leader_election(g)
+        assert leader == 0
+        assert sim.rounds == g.n
+
+    def test_bfs_depths_match(self, rng):
+        g = connected_random_graph(9, 0.35, rng)
+        root = g.vertices()[0]
+        outputs, sim = run_bfs(g, root)
+        truth = g.bfs_distances(root)
+        for v, (parent, depth) in outputs.items():
+            assert depth == truth[v]
+
+    def test_bfs_parents_form_tree(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+        root = g.vertices()[0]
+        outputs, sim = run_bfs(g, root)
+        root_uid = sim.uid_of[root]
+        n_roots = sum(1 for (p, d) in outputs.values() if p is None)
+        assert n_roots == 1
+
+
+class TestUniversalAlgorithm:
+    def test_exact_mds_distributed(self, rng):
+        g = connected_random_graph(9, 0.4, rng)
+
+        def solver(gg):
+            ds = set(min_dominating_set(gg))
+            return len(ds), {u: (u in ds) for u in gg.vertices()}
+
+        outputs, sim = run_universal_exact(g, solver)
+        members = [v for v, o in outputs.items() if o["value"]]
+        assert is_dominating_set(g, members)
+        assert len(members) == len(min_dominating_set(g))
+
+    def test_round_complexity_linear_in_m(self, rng):
+        g = connected_random_graph(10, 0.5, rng)
+
+        def solver(gg):
+            return 0, {u: 0 for u in gg.vertices()}
+
+        __, sim = run_universal_exact(g, solver)
+        # leader (n) + BFS (n) + announce (1) + pipelined upcast O(m + D)
+        # + downcast O(n + D)
+        assert sim.rounds <= 2 * g.n + 1 + (g.m + g.n) + (2 * g.n + 5)
+
+    def test_all_vertices_get_global_value(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+
+        def solver(gg):
+            return 42, {u: u for u in gg.vertices()}
+
+        outputs, __ = run_universal_exact(g, solver)
+        assert all(o["global"] == 42 for o in outputs.values())
+
+
+class TestMaxCutSampling:
+    def test_p_one_is_exact(self, rng):
+        g = connected_random_graph(10, 0.45, rng)
+        res = run_maxcut_sampling(g, p=1.0, seed=5)
+        exact = max_cut_value(g)
+        assert res.sampled_value == exact
+        side = [v for v, s in res.sides.items() if s]
+        assert cut_weight(g, side) == exact
+
+    def test_sampling_gives_valid_cut(self, rng):
+        g = connected_random_graph(12, 0.4, rng)
+        res = run_maxcut_sampling(g, p=0.6, seed=6)
+        assert set(res.sides) == set(g.vertices())
+        assert res.sampled_edges <= g.m
+
+    def test_estimate_scales_by_p(self, rng):
+        g = connected_random_graph(10, 0.5, rng)
+        res = run_maxcut_sampling(g, p=0.5, seed=7)
+        assert res.estimated_value == res.sampled_value / 0.5
+
+    def test_empty_graph_rejected(self):
+        g = Graph()
+        g.add_vertices([1, 2])
+        with pytest.raises(ValueError):
+            run_maxcut_sampling(g)
+
+
+class TestGreedyMds:
+    def test_output_dominates(self, rng):
+        for __ in range(4):
+            g = connected_random_graph(10, 0.35, rng)
+            members, sim = run_greedy_mds(g)
+            ds = [v for v, b in members.items() if b]
+            assert is_dominating_set(g, ds)
+
+    def test_reasonable_approximation(self, rng):
+        ratios = []
+        for __ in range(4):
+            g = connected_random_graph(10, 0.4, rng)
+            members, __s = run_greedy_mds(g)
+            ds = [v for v, b in members.items() if b]
+            ratios.append(len(ds) / len(min_dominating_set(g)))
+        assert max(ratios) <= 4.0
+
+    def test_single_clique_one_dominator(self):
+        g = complete_graph(6)
+        members, __ = run_greedy_mds(g)
+        assert sum(members.values()) == 1

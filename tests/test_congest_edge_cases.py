@@ -1,0 +1,111 @@
+"""Edge cases of the collect-and-solve pipeline and the simulators."""
+
+import pytest
+
+from repro.congest.algorithms.collect import run_collect_and_solve, run_universal_exact
+from repro.congest.algorithms import run_maxcut_sampling
+from repro.congest.model import CongestSimulator, NodeAlgorithm
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.solvers import cut_weight
+
+
+class TestCollectEdgeCases:
+    def _count_solver(self, n, edge_records, vertex_records):
+        return len(edge_records), {u: u for u in range(n)}
+
+    def test_two_vertices(self):
+        g = path_graph(2)
+        outputs, sim = run_collect_and_solve(g, self._count_solver)
+        assert all(o["global"] == 1 for o in outputs.values())
+
+    def test_star(self):
+        g = Graph()
+        for leaf in range(5):
+            g.add_edge("c", leaf)
+        outputs, sim = run_collect_and_solve(g, self._count_solver)
+        assert all(o["global"] == 5 for o in outputs.values())
+
+    def test_every_vertex_gets_its_own_value(self):
+        g = cycle_graph(7)
+        outputs, sim = run_collect_and_solve(g, self._count_solver)
+        for label, o in outputs.items():
+            assert o["value"] == sim.uid_of[label]
+
+    def test_edge_filter_drops_everything(self):
+        g = cycle_graph(5)
+        outputs, sim = run_collect_and_solve(
+            g, self._count_solver, edge_filter=lambda u, v, rng: False)
+        assert all(o["global"] == 0 for o in outputs.values())
+
+    def test_vertex_weights_uploaded(self):
+        g = path_graph(3)
+        for i, v in enumerate(g.vertices()):
+            g.set_vertex_weight(v, i + 10)
+
+        def solver(n, edge_records, vertex_records):
+            return sorted(w for __, w in vertex_records), {}
+
+        outputs, __ = run_collect_and_solve(g, solver,
+                                            include_vertex_weights=True)
+        assert next(iter(outputs.values()))["global"] == [10, 11, 12]
+
+    def test_weighted_edges_uploaded(self):
+        g = path_graph(3)
+        g.set_edge_weight(0, 1, 7)
+        g.set_edge_weight(1, 2, 9)
+
+        def solver(n, edge_records, vertex_records):
+            return sorted(w for __, ___, w in edge_records), {}
+
+        outputs, __ = run_collect_and_solve(g, solver)
+        assert next(iter(outputs.values()))["global"] == [7, 9]
+
+    def test_deterministic_given_seed(self):
+        g = complete_graph(6)
+        r1 = run_maxcut_sampling(g, p=0.5, seed=3)
+        r2 = run_maxcut_sampling(g, p=0.5, seed=3)
+        assert r1.sides == r2.sides
+        assert r1.sampled_edges == r2.sampled_edges
+
+    def test_local_search_fallback_for_big_samples(self):
+        """With exact_limit = 0 the leader must fall back to local
+        search and still return a valid cut."""
+        g = complete_graph(8)
+        res = run_maxcut_sampling(g, p=1.0, seed=2, exact_limit=0)
+        side = [v for v, s in res.sides.items() if s]
+        assert cut_weight(g, side) >= g.m / 2
+
+
+class TestSimulatorAccounting:
+    def test_total_bits_accumulate(self):
+        class Ping(NodeAlgorithm):
+            def on_start(self, ctx):
+                return {w: 1 for w in ctx.neighbors}
+
+            def on_round(self, ctx, messages):
+                ctx.halt(len(messages))
+                return {}
+
+        g = cycle_graph(5)
+        sim = CongestSimulator(g)
+        outputs = sim.run(Ping)
+        assert sim.total_messages == 10  # 2 per vertex in round 0
+        assert sim.total_bits == 20      # each int 1 costs 2 bits
+        assert all(v == 2 for v in outputs.values())
+
+    def test_observer_sees_all_messages(self):
+        seen = []
+
+        class Ping(NodeAlgorithm):
+            def on_start(self, ctx):
+                return {w: 1 for w in ctx.neighbors}
+
+            def on_round(self, ctx, messages):
+                ctx.halt()
+                return {}
+
+        g = path_graph(3)
+        sim = CongestSimulator(g)
+        sim.observer = lambda s, r, b: seen.append((s, r, b))
+        sim.run(Ping)
+        assert len(seen) == sim.total_messages

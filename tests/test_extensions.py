@@ -1,0 +1,144 @@
+"""Tests for the extension modules: the LOCAL-model separation,
+randomized protocols, gap disjointness, and triangle detection."""
+
+import math
+import random
+
+import pytest
+
+from repro.cc import (
+    Channel,
+    equality,
+    equality_fingerprint_protocol,
+    estimate_error,
+    gap_disjointness,
+    intersection_size,
+)
+from repro.cc.functions import random_input_pairs
+from repro.congest.algorithms.collect import run_universal_exact
+from repro.congest.algorithms.local_model import run_local_universal
+from repro.graphs import complete_graph, cycle_graph, random_graph
+from repro.limits import PartitionedInstance, triangle_detection_protocol
+from repro.solvers import is_dominating_set, min_dominating_set
+from tests.conftest import connected_random_graph
+
+
+class TestLocalModel:
+    def _solver(self):
+        def solver(g):
+            ds = set(min_dominating_set(g))
+            return {u: (u in ds) for u in g.vertices()}
+
+        return solver
+
+    def test_solves_correctly(self, rng):
+        g = connected_random_graph(10, 0.35, rng)
+        outputs, sim = run_local_universal(g, self._solver())
+        members = [v for v, b in outputs.items() if b]
+        assert is_dominating_set(g, members)
+        assert len(members) == len(min_dominating_set(g))
+
+    def test_rounds_track_diameter(self, rng):
+        g = cycle_graph(16)  # diameter 8
+        __, sim = run_local_universal(g, self._solver())
+        assert sim.rounds <= g.diameter() + 4
+
+    def test_congest_local_separation(self, rng):
+        """On the same instance LOCAL finishes in ~D rounds while the
+        CONGEST collect-and-solve needs Θ(m + n) — the separation the
+        paper's approximation bounds rest on."""
+        g = connected_random_graph(14, 0.5, rng)
+        __, local_sim = run_local_universal(g, self._solver())
+
+        def congest_solver(gg):
+            return 0, {u: 0 for u in gg.vertices()}
+
+        __, congest_sim = run_universal_exact(g, congest_solver)
+        assert local_sim.rounds <= g.diameter() + 4
+        assert congest_sim.rounds >= 2 * g.n  # leader + BFS phases alone
+
+    def test_local_messages_exceed_congest_bandwidth(self, rng):
+        g = connected_random_graph(12, 0.5, rng)
+        __, sim = run_local_universal(g, self._solver())
+        from repro.congest.model import default_bandwidth
+
+        assert sim.max_message_bits > default_bandwidth(g.n)
+
+
+class TestRandomizedEquality:
+    def test_equal_inputs_always_accept(self, rng):
+        x = tuple(rng.randint(0, 1) for __ in range(20))
+        for seed in range(10):
+            ch = Channel()
+            assert equality_fingerprint_protocol(
+                x, x, ch, random.Random(seed))
+
+    def test_cost_independent_of_k(self, rng):
+        for k in (16, 256):
+            x = tuple([1] * k)
+            ch = Channel()
+            equality_fingerprint_protocol(x, x, ch, random.Random(1),
+                                          repetitions=8)
+            assert ch.bits <= 16  # 8 fingerprint bits + answer + framing
+
+    def test_error_rate_bounded(self, rng):
+        pairs = []
+        for __ in range(4):
+            x = tuple(rng.randint(0, 1) for _ in range(12))
+            y = list(x)
+            y[rng.randrange(12)] ^= 1
+            pairs.append((x, tuple(y)))
+        err = estimate_error(equality_fingerprint_protocol, equality,
+                             pairs, trials=40, seed=3, repetitions=6)
+        assert err <= 0.1  # analytic bound 2^-6 ≈ 0.016
+
+    def test_one_repetition_errs_sometimes(self, rng):
+        pairs = [((1, 0, 0, 0), (0, 0, 0, 0))]
+        err = estimate_error(equality_fingerprint_protocol, equality,
+                             pairs, trials=300, seed=5, repetitions=1)
+        assert 0.3 <= err <= 0.7  # a single parity check misses half
+
+
+class TestGapDisjointness:
+    def test_disjoint_true(self):
+        assert gap_disjointness((1, 0), (0, 1), gap=2)
+
+    def test_large_intersection_false(self):
+        assert not gap_disjointness((1, 1), (1, 1), gap=2)
+
+    def test_promise_violation(self):
+        with pytest.raises(ValueError):
+            gap_disjointness((1, 0), (1, 0), gap=2)
+
+    def test_intersection_size(self):
+        assert intersection_size((1, 1, 0), (1, 0, 0)) == 1
+
+
+class TestTriangleDetection:
+    def _has_triangle(self, g):
+        for u, v in g.edges():
+            if g.neighbors(u) & g.neighbors(v):
+                return True
+        return False
+
+    def test_matches_ground_truth(self, rng):
+        for __ in range(10):
+            g = random_graph(9, rng.uniform(0.15, 0.5), rng)
+            vs = g.vertices()
+            inst = PartitionedInstance(graph=g, alice=set(vs[:4]))
+            ch = Channel()
+            assert triangle_detection_protocol(inst, ch) == \
+                self._has_triangle(g)
+            assert ch.bits <= 4  # two booleans
+
+    def test_cross_cut_triangle_found(self):
+        g = complete_graph(3)
+        inst = PartitionedInstance(graph=g, alice={0})
+        ch = Channel()
+        assert triangle_detection_protocol(inst, ch)
+
+    def test_triangle_free(self):
+        g = cycle_graph(6)
+        inst = PartitionedInstance(graph=g, alice={0, 1, 2})
+        ch = Channel()
+        assert not triangle_detection_protocol(inst, ch)

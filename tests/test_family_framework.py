@@ -1,0 +1,112 @@
+"""Definition 1.1 validator and Theorem 1.1 bound tests."""
+
+import random
+
+import pytest
+
+from repro.cc.functions import DISJ, random_input_pairs
+from repro.core.family import (
+    FamilyValidationError,
+    IffReport,
+    LowerBoundGraphFamily,
+    theorem_1_1_bound,
+    validate_family,
+    verify_iff,
+)
+from repro.core.mds import MdsFamily
+from repro.graphs import Graph
+
+
+class _BrokenCutFamily(LowerBoundGraphFamily):
+    """Violates Definition 1.1: the cut depends on x."""
+
+    @property
+    def k_bits(self):
+        return 2
+
+    def build(self, x, y):
+        g = Graph()
+        g.add_vertices(["a0", "a1", "b0", "b1"])
+        g.add_edge("a0", "b0")
+        if x[0]:
+            g.add_edge("a1", "b1")  # cut edge toggled by x
+        return g
+
+    def alice_vertices(self):
+        return {"a0", "a1"}
+
+    def predicate(self, graph):
+        return graph.m >= 2
+
+
+class _LeakyFamily(LowerBoundGraphFamily):
+    """Violates Definition 1.1: G[VA] depends on y."""
+
+    @property
+    def k_bits(self):
+        return 2
+
+    def build(self, x, y):
+        g = Graph()
+        g.add_vertices(["a0", "a1", "b0", "b1"])
+        g.add_edge("a0", "b0")
+        if y[0]:
+            g.add_edge("a0", "a1")
+        return g
+
+    def alice_vertices(self):
+        return {"a0", "a1"}
+
+    def predicate(self, graph):
+        return True
+
+
+class TestValidator:
+    def test_accepts_mds_family(self):
+        validate_family(MdsFamily(4))
+
+    def test_rejects_input_dependent_cut(self):
+        with pytest.raises(FamilyValidationError):
+            validate_family(_BrokenCutFamily())
+
+    def test_rejects_cross_dependence(self):
+        with pytest.raises(FamilyValidationError):
+            validate_family(_LeakyFamily())
+
+
+class TestVerifyIff:
+    def test_mismatch_detected(self, rng):
+        fam = MdsFamily(4)
+        pairs = random_input_pairs(16, 2, rng)
+        # without negate, the MDS predicate tracks ¬DISJ, so this fails
+        with pytest.raises(FamilyValidationError):
+            verify_iff(fam, pairs, negate=False)
+
+    def test_report_counts(self, rng):
+        fam = MdsFamily(4)
+        pairs = random_input_pairs(16, 4, rng)
+        report = verify_iff(fam, pairs, negate=True)
+        assert report.checked == 4
+        assert report.true_instances + report.false_instances == 4
+        assert "4 input pairs" in str(report)
+
+
+class TestTheoremBound:
+    def test_bound_positive_and_growing(self):
+        bounds = [theorem_1_1_bound(MdsFamily(k)) for k in (4, 8, 16)]
+        assert all(b > 0 for b in bounds)
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_bound_formula(self):
+        fam = MdsFamily(4)
+        n = fam.n_vertices()
+        ecut = len(fam.cut_edges())
+        import math
+
+        expected = fam.k_bits / (ecut * math.log2(n))
+        assert abs(theorem_1_1_bound(fam) - expected) < 1e-12
+
+    def test_describe_keys(self):
+        d = MdsFamily(4).describe()
+        assert {"family", "K", "n", "m", "ecut", "function",
+                "implied_bound"} <= set(d)

@@ -1,0 +1,225 @@
+"""Unit tests for the graph substrate."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    GraphError,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph()
+        assert g.n == 0
+        assert g.m == 0
+        assert g.vertices() == []
+        assert g.edges() == []
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert g.n == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.n == 2
+        assert g.m == 1
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_parallel_edge_collapses(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.m == 1
+
+    def test_degrees(self):
+        g = complete_graph(5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.max_degree() == 4
+
+    def test_clique(self):
+        g = Graph()
+        g.add_clique(range(4))
+        assert g.m == 6
+
+    def test_remove_edge(self):
+        g = cycle_graph(4)
+        g.remove_edge(0, 1)
+        assert g.m == 3
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_remove_vertex(self):
+        g = complete_graph(4)
+        g.remove_vertex(0)
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_tuple_labels(self):
+        g = Graph()
+        g.add_edge(("row", "A1", 0), ("f", "A1", 1))
+        assert ("row", "A1", 0) in g
+
+    def test_copy_independent(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert g.m == 4
+        assert h.m == 3
+
+
+class TestGraphWeights:
+    def test_default_weights(self):
+        g = cycle_graph(3)
+        assert g.edge_weight(0, 1) == 1.0
+        assert g.vertex_weight(0) == 1.0
+
+    def test_explicit_weights(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=5)
+        g.add_vertex("a", weight=3)
+        assert g.edge_weight("a", "b") == 5
+        assert g.vertex_weight("a") == 3
+
+    def test_set_edge_weight_requires_edge(self):
+        g = Graph()
+        g.add_vertices([1, 2])
+        with pytest.raises(GraphError):
+            g.set_edge_weight(1, 2, 4)
+
+    def test_total_edge_weight(self):
+        g = cycle_graph(4)
+        for u, v in g.edges():
+            g.set_edge_weight(u, v, 2)
+        assert g.total_edge_weight() == 8
+
+    def test_weights_survive_copy(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=7)
+        g.set_vertex_weight(1, 9)
+        h = g.copy()
+        assert h.edge_weight(1, 2) == 7
+        assert h.vertex_weight(1) == 9
+
+
+class TestGraphStructure:
+    def test_bfs_distances(self):
+        g = path_graph(5)
+        dist = g.bfs_distances(0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_connected_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_vertex(5)
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+
+    def test_is_connected(self):
+        assert cycle_graph(5).is_connected()
+        g = cycle_graph(5)
+        g.add_vertex("lonely")
+        assert not g.is_connected()
+
+    def test_diameter(self):
+        assert path_graph(5).diameter() == 4
+        assert cycle_graph(6).diameter() == 3
+        assert complete_graph(4).diameter() == 1
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph()
+        g.add_vertices([1, 2])
+        with pytest.raises(GraphError):
+            g.diameter()
+
+    def test_induced_subgraph(self):
+        g = complete_graph(5)
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 3
+
+    def test_relabel(self):
+        g = cycle_graph(3)
+        h = g.relabel({0: "zero"})
+        assert "zero" in h
+        assert h.has_edge("zero", 1)
+
+    def test_relabel_non_injective_rejected(self):
+        g = cycle_graph(3)
+        with pytest.raises(GraphError):
+            g.relabel({0: 1})
+
+    def test_to_networkx_roundtrip(self):
+        g = cycle_graph(5)
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 5
+        assert nxg.number_of_edges() == 5
+
+
+class TestDiGraph:
+    def test_directed_edges(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+        assert g.out_degree("a") == 1
+        assert g.in_degree("b") == 1
+
+    def test_successors_predecessors(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_edge(4, 1)
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(1) == {4}
+
+    def test_to_undirected(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        und = g.to_undirected()
+        assert und.m == 1
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_m_counts_arcs(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.m == 2
+
+
+class TestGenerators:
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_random_graph_deterministic(self, rng):
+        import random
+
+        g1 = random_graph(10, 0.5, random.Random(7))
+        g2 = random_graph(10, 0.5, random.Random(7))
+        assert sorted(map(repr, g1.edges())) == sorted(map(repr, g2.edges()))
+
+    def test_complete_graph_edge_count(self):
+        for n in (1, 2, 5, 8):
+            g = complete_graph(n)
+            assert g.m == n * (n - 1) // 2

@@ -1,0 +1,139 @@
+"""Figure 3 / Theorem 2.8 family tests (Claims 2.9-2.12, Lemma 2.4)."""
+
+import pytest
+
+from repro.cc.functions import (
+    disjointness,
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.core.family import validate_family, verify_iff
+from repro.core.maxcut import (
+    CA,
+    CA_BAR,
+    CB,
+    NA,
+    NB,
+    MaxCutFamily,
+    bin_vertices,
+    fvert,
+    row,
+    tvert,
+)
+from repro.solvers import cut_weight, max_cut
+
+
+@pytest.fixture(scope="module")
+def fam():
+    return MaxCutFamily(2)
+
+
+class TestConstruction:
+    def test_vertex_count(self, fam):
+        # 4k rows + 8 log k bit vertices + 5 specials
+        assert fam.n_vertices() == 4 * 2 + 8 * 1 + 5
+
+    def test_heavy_edges(self, fam):
+        g = fam.fixed_graph()
+        heavy = fam.heavy
+        assert g.edge_weight(CA, NA) == heavy
+        assert g.edge_weight(CA, CA_BAR) == heavy
+        assert g.edge_weight(CA_BAR, CB) == heavy
+        assert g.edge_weight(CB, NB) == heavy
+
+    def test_four_cycles(self, fam):
+        g = fam.fixed_graph()
+        cyc = [tvert("A1", 0), fvert("A1", 0), tvert("B1", 0), fvert("B1", 0)]
+        for i in range(4):
+            assert g.edge_weight(cyc[i], cyc[(i + 1) % 4]) == fam.heavy
+
+    def test_row_weights(self, fam):
+        g = fam.fixed_graph()
+        k = fam.k
+        assert g.edge_weight(row("A1", 0), CA) == 2 * k * k * fam.log_k - k * k
+        for v in bin_vertices("A1", 1, fam.log_k):
+            assert g.edge_weight(row("A1", 1), v) == 2 * k * k
+
+    def test_n_edge_weights_sum_to_row_sums(self, fam, rng):
+        """w(a^i_1, NA) = Σ_j x_{i,j}: total weight from a row to its
+        opposite set plus N-vertex is always exactly k."""
+        x, y = random_input_pairs(4, 2, rng)[0]
+        g = fam.build(x, y)
+        k = fam.k
+        for i in range(k):
+            total = g.edge_weight(row("A1", i), NA)
+            for j in range(k):
+                if g.has_edge(row("A1", i), row("A2", j)):
+                    total += g.edge_weight(row("A1", i), row("A2", j))
+            assert total == k
+
+    def test_input_edges_on_zeros(self, fam, rng):
+        x, y = random_input_pairs(4, 2, rng)[1]
+        g = fam.build(x, y)
+        k = fam.k
+        for i in range(k):
+            for j in range(k):
+                assert g.has_edge(row("A1", i), row("A2", j)) == \
+                    (x[i * k + j] == 0)
+
+    def test_definition_1_1(self, fam):
+        validate_family(fam)
+
+    def test_target_weight_formula(self):
+        fam4 = MaxCutFamily(4)
+        k, lg = 4, 2
+        assert fam4.target_weight == \
+            k ** 4 * (8 * lg + 4) + k ** 3 * (12 * lg - 4) + 4 * k * k + 4 * k
+
+
+class TestLemma24:
+    def test_iff_sweep(self, fam, rng):
+        pairs = random_input_pairs(4, 4, rng)
+        report = verify_iff(fam, pairs, negate=True)
+        assert report.true_instances and report.false_instances
+
+    def test_witness_reaches_m(self, fam, rng):
+        x, y = random_intersecting_pair(4, rng)
+        side = fam.witness_side(x, y)
+        assert cut_weight(fam.build(x, y), side) >= fam.target_weight
+
+    def test_disjoint_max_below_m(self, fam, rng):
+        x, y = random_disjoint_pair(4, rng)
+        value, __ = max_cut(fam.build(x, y))
+        assert value < fam.target_weight
+
+    def test_claims_on_exact_optimum(self, fam, rng):
+        """Claims 2.9-2.11 hold for a genuine maximum cut."""
+        x, y = random_intersecting_pair(4, rng)
+        g = fam.build(x, y)
+        value, side = max_cut(g)
+        assert fam.structural_claims_hold(side, g)
+
+    def test_claims_reject_garbage(self, fam, rng):
+        x, y = random_intersecting_pair(4, rng)
+        g = fam.build(x, y)
+        assert not fam.structural_claims_hold([CA, NA], g)
+
+    def test_claim_212_fixed_part(self, fam, rng):
+        """Claim 2.12: the non-row/N cut weight of the witness cut equals
+        M' regardless of the inputs."""
+        for __ in range(3):
+            x, y = random_intersecting_pair(4, rng)
+            g = fam.build(x, y)
+            side = set(fam.witness_side(x, y))
+            row_n = set()
+            for s in ("A1", "A2", "B1", "B2"):
+                row_n.update(row(s, j) for j in range(fam.k))
+            row_n.update((NA, NB))
+            fixed_weight = sum(
+                g.edge_weight(u, v) for u, v in g.edges()
+                if ((u in side) != (v in side))
+                and not (u in row_n and v in row_n))
+            assert fixed_weight == fam.fixed_cut_part
+
+    def test_witness_at_k4(self, rng):
+        fam4 = MaxCutFamily(4)
+        x, y = random_intersecting_pair(16, rng)
+        side = fam4.witness_side(x, y)
+        assert cut_weight(fam4.build(x, y), side) >= fam4.target_weight

@@ -1,0 +1,134 @@
+"""Figure 1 / Theorem 2.1 family tests (Lemma 2.1 machine-checked)."""
+
+import math
+import random
+
+import pytest
+
+from repro.cc.functions import (
+    disjointness,
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.core.family import theorem_1_1_bound, validate_family, verify_iff
+from repro.core.mds import MdsFamily, bin_set, cobin_set, fvert, row, tvert, uvert
+from repro.solvers import (
+    has_dominating_set_of_size,
+    is_dominating_set,
+    min_dominating_set,
+)
+
+
+@pytest.fixture(scope="module")
+def fam():
+    return MdsFamily(4)
+
+
+class TestConstruction:
+    def test_k_must_be_power_of_two(self):
+        for bad in (0, 1, 3, 6, 12):
+            with pytest.raises(ValueError):
+                MdsFamily(bad)
+
+    def test_vertex_count(self, fam):
+        # 4k row vertices + 12 log k bit-gadget vertices
+        g = fam.fixed_graph()
+        assert g.n == 4 * 4 + 12 * 2
+
+    def test_six_cycles(self, fam):
+        g = fam.fixed_graph()
+        for ell in ("1", "2"):
+            for h in range(fam.log_k):
+                cyc = [fvert("A" + ell, h), tvert("A" + ell, h),
+                       uvert("A" + ell, h), fvert("B" + ell, h),
+                       tvert("B" + ell, h), uvert("B" + ell, h)]
+                for i in range(6):
+                    assert g.has_edge(cyc[i], cyc[(i + 1) % 6])
+
+    def test_bin_coding_edges(self, fam):
+        g = fam.fixed_graph()
+        # row 3 = binary 11: connected to t^0, t^1 of its own set
+        assert g.has_edge(row("A1", 3), tvert("A1", 0))
+        assert g.has_edge(row("A1", 3), tvert("A1", 1))
+        assert not g.has_edge(row("A1", 3), fvert("A1", 0))
+
+    def test_bin_cobin_partition(self):
+        for i in range(4):
+            b = set(bin_set("A1", i, 2))
+            c = set(cobin_set("A1", i, 2))
+            assert not b & c
+            assert len(b | c) == 4
+
+    def test_input_edges_follow_x(self, fam, rng):
+        x, y = random_input_pairs(16, 2, rng)[0]
+        g = fam.build(x, y)
+        k = fam.k
+        for i in range(k):
+            for j in range(k):
+                assert g.has_edge(row("A1", i), row("A2", j)) == \
+                    bool(x[i * k + j])
+                assert g.has_edge(row("B1", i), row("B2", j)) == \
+                    bool(y[i * k + j])
+
+    def test_input_length_checked(self, fam):
+        with pytest.raises(ValueError):
+            fam.build((0,) * 5, (0,) * 16)
+
+    def test_cut_is_logarithmic(self, fam):
+        assert len(fam.cut_edges()) == 4 * fam.log_k
+
+    def test_definition_1_1(self, fam):
+        validate_family(fam)
+
+
+class TestLemma21:
+    def test_iff_random_sweep(self, fam, rng):
+        pairs = random_input_pairs(16, 6, rng)
+        report = verify_iff(fam, pairs, negate=True)
+        assert report.true_instances and report.false_instances
+
+    def test_intersecting_has_small_ds(self, fam, rng):
+        x, y = random_intersecting_pair(16, rng)
+        assert has_dominating_set_of_size(fam.build(x, y), fam.target_size)
+
+    def test_disjoint_optimum_is_larger(self, fam, rng):
+        x, y = random_disjoint_pair(16, rng)
+        g = fam.build(x, y)
+        assert len(min_dominating_set(g)) > fam.target_size
+
+    def test_witness_structure(self, fam, rng):
+        x, y = random_intersecting_pair(16, rng)
+        witness = fam.witness_dominating_set(x, y)
+        assert len(witness) == fam.target_size
+        assert is_dominating_set(fam.build(x, y), witness)
+
+    def test_witness_requires_intersection(self, fam, rng):
+        x, y = random_disjoint_pair(16, rng)
+        with pytest.raises(StopIteration):
+            fam.witness_dominating_set(x, y)
+
+    def test_all_ones_inputs(self, fam):
+        ones = tuple([1] * 16)
+        assert fam.predicate(fam.build(ones, ones))
+
+    def test_all_zero_inputs(self, fam):
+        zeros = tuple([0] * 16)
+        assert not fam.predicate(fam.build(zeros, zeros))
+
+
+class TestTheorem21Shape:
+    def test_bound_grows_nearly_quadratically(self):
+        """K/( |Ecut| log n ) with K = Θ(n²), |Ecut| = Θ(log n): the
+        implied bound over n² should be Θ(1/log²n) — i.e. the ratio of
+        bounds at consecutive k should approach 4 (quadratic)."""
+        b4 = theorem_1_1_bound(MdsFamily(4))
+        b8 = theorem_1_1_bound(MdsFamily(8))
+        b16 = theorem_1_1_bound(MdsFamily(16))
+        assert b8 / b4 > 1.8
+        assert b16 / b8 > 2.0
+
+    def test_n_is_theta_k(self):
+        for k in (4, 8, 16):
+            fam = MdsFamily(k)
+            assert 4 * k <= fam.n_vertices() <= 4 * k + 12 * math.log2(k)

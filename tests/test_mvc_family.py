@@ -1,0 +1,139 @@
+"""CKP-style MVC/MaxIS base family tests (the Sections 3-4 substrate)."""
+
+import pytest
+
+from repro.cc.functions import (
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.core.family import validate_family, verify_iff
+from repro.core.mvc import (
+    W_A,
+    W_B,
+    WP_A,
+    WP_B,
+    MvcMaxISFamily,
+    bin_pairs,
+    cobin,
+    fvert,
+    row,
+    tvert,
+)
+from repro.solvers import (
+    is_independent_set,
+    max_independent_set,
+    min_vertex_cover_size,
+)
+
+
+@pytest.fixture(scope="module")
+def fam():
+    return MvcMaxISFamily(4)
+
+
+class TestConstruction:
+    def test_rows_are_cliques(self, fam):
+        g = fam.fixed_graph()
+        for i in range(fam.k):
+            for j in range(i + 1, fam.k):
+                assert g.has_edge(row("A1", i), row("A1", j))
+
+    def test_four_cycles(self, fam):
+        g = fam.fixed_graph()
+        cyc = [fvert("A1", 0), tvert("A1", 0), fvert("B1", 0), tvert("B1", 0)]
+        for i in range(4):
+            assert g.has_edge(cyc[i], cyc[(i + 1) % 4])
+        # the two "consistent" pairs are non-adjacent
+        assert not g.has_edge(fvert("A1", 0), fvert("B1", 0))
+        assert not g.has_edge(tvert("A1", 0), tvert("B1", 0))
+
+    def test_complement_coding(self, fam):
+        g = fam.fixed_graph()
+        # row 2 = binary 10: cobin = {t^0, f^1}
+        assert g.has_edge(row("A1", 2), tvert("A1", 0))
+        assert g.has_edge(row("A1", 2), fvert("A1", 1))
+        assert not g.has_edge(row("A1", 2), fvert("A1", 0))
+
+    def test_connectors(self, fam):
+        g = fam.fixed_graph()
+        assert g.has_edge(W_A, WP_A)
+        assert g.has_edge(W_A, row("A1", 0))
+        assert g.has_edge(W_A, row("A2", 0))
+        assert g.degree(W_A) == 3
+
+    def test_connected_constant_diameter(self, fam, rng):
+        for __ in range(2):
+            x, y = random_input_pairs(16, 2, rng)[0]
+            g = fam.build(x, y)
+            assert g.is_connected()
+            assert g.diameter() <= 10
+
+    def test_input_edges_on_zeros(self, fam, rng):
+        x, y = random_input_pairs(16, 2, rng)[0]
+        g = fam.build(x, y)
+        k = fam.k
+        for i in range(k):
+            for j in range(k):
+                assert g.has_edge(row("A1", i), row("A2", j)) == \
+                    (x[i * k + j] == 0)
+
+    def test_definition_1_1(self, fam):
+        validate_family(fam)
+
+    def test_cut_logarithmic(self, fam):
+        assert len(fam.cut_edges()) == 4 * fam.log_k
+
+    def test_row_degree_theta_n(self, fam):
+        zeros = tuple([0] * 16)
+        g = fam.build(zeros, zeros)
+        assert g.degree(row("A1", 1)) >= fam.k  # clique + inputs
+
+
+class TestAlphaGap:
+    def test_iff_sweep(self, fam, rng):
+        report = verify_iff(fam, random_input_pairs(16, 6, rng), negate=True)
+        assert report.true_instances and report.false_instances
+
+    def test_alpha_gap(self, fam, rng):
+        x, y = random_disjoint_pair(16, rng)
+        assert len(max_independent_set(fam.build(x, y))) <= fam.alpha_no
+        x, y = random_intersecting_pair(16, rng)
+        assert len(max_independent_set(fam.build(x, y))) == fam.alpha_yes
+        assert fam.alpha_yes == fam.alpha_no + 1
+
+    def test_alpha_no_attained_by_sparse_disjoint_input(self, fam):
+        """All-ones x with all-zero y is disjoint and keeps enough input
+        edges absent for α to hit the 4·log k + 5 ceiling."""
+        x = tuple([1] * fam.k_bits)
+        y = tuple([0] * fam.k_bits)
+        assert len(max_independent_set(fam.build(x, y))) == fam.alpha_no
+
+    def test_alpha_can_drop_below_ceiling_on_dense_inputs(self, fam):
+        """All-zero inputs add every row-row edge; α dips under the
+        ceiling — the reason the reduction only uses the iff."""
+        zeros = tuple([0] * fam.k_bits)
+        alpha = len(max_independent_set(fam.build(zeros, zeros)))
+        assert alpha < fam.alpha_yes
+
+    def test_witness(self, fam, rng):
+        x, y = random_intersecting_pair(16, rng)
+        w = fam.witness_independent_set(x, y)
+        assert len(w) == fam.alpha_yes
+        assert is_independent_set(fam.build(x, y), w)
+
+    def test_mvc_complement(self, fam, rng):
+        x, y = random_intersecting_pair(16, rng)
+        g = fam.build(x, y)
+        assert min_vertex_cover_size(g) == g.n - fam.alpha_yes
+        assert fam.mvc_target == g.n - fam.alpha_yes
+
+    def test_pendants_always_available(self, fam, rng):
+        x, y = random_intersecting_pair(16, rng)
+        w = fam.witness_independent_set(x, y)
+        assert WP_A in w and WP_B in w
+
+    def test_bin_pairs_disjoint_from_cobin(self, fam):
+        for i in range(fam.k):
+            assert not set(bin_pairs("A1", i, fam.log_k)) & \
+                set(cobin("A1", i, fam.log_k))

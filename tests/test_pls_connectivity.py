@@ -1,0 +1,185 @@
+"""PLS tests: connectivity, (s,t)-connectivity, cycles, bipartiteness,
+cuts (Lemma 5.1 items 1-9)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, cycle_graph, path_graph
+from repro.pls import (
+    BipartitePls,
+    ConnectedSpanningSubgraphPls,
+    ConnectivityPls,
+    CutPls,
+    CyclePls,
+    ECyclePls,
+    EdgeNotOnAllPathsPls,
+    EdgeOnAllPathsPls,
+    NoCyclePls,
+    NoECyclePls,
+    NonBipartitePls,
+    NonConnectivityPls,
+    NonStConnectivityPls,
+    NotCutPls,
+    NotStCutPls,
+    StConnectivityPls,
+    StCutPls,
+    check_completeness,
+    check_soundness_samples,
+)
+from repro.pls.scheme import PlsInstance, edge_key
+from tests.conftest import connected_random_graph
+
+
+def with_h(g, edges, **kw):
+    return PlsInstance(graph=g,
+                       subgraph=frozenset(edge_key(u, v) for u, v in edges),
+                       **kw)
+
+
+def bfs_tree_edges(g):
+    root = sorted(g.vertices(), key=repr)[0]
+    return list(nx.bfs_tree(g.to_networkx(), root).edges())
+
+
+class TestConnectivity:
+    def test_connected_h_accepted(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        check_completeness(ConnectivityPls(), with_h(g, bfs_tree_edges(g)))
+        check_completeness(ConnectedSpanningSubgraphPls(),
+                           with_h(g, bfs_tree_edges(g)))
+
+    def test_disconnected_h_rejected(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        tree = bfs_tree_edges(g)
+        yes = with_h(g, tree)
+        no = with_h(g, tree[:-1])
+        check_soundness_samples(ConnectivityPls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_non_connectivity_completeness(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        check_completeness(NonConnectivityPls(),
+                           with_h(g, bfs_tree_edges(g)[:-1]))
+
+    def test_non_connectivity_soundness(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        tree = bfs_tree_edges(g)
+        check_soundness_samples(NonConnectivityPls(), with_h(g, tree), rng,
+                                donor_instances=[with_h(g, tree[:-1])])
+
+
+class TestStConnectivity:
+    def test_reachable(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        e0 = g.edges()[0]
+        check_completeness(StConnectivityPls(),
+                           with_h(g, [e0], s=e0[0], t=e0[1]))
+
+    def test_unreachable(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        e0 = g.edges()[0]
+        yes = with_h(g, [e0], s=e0[0], t=e0[1])
+        no = with_h(g, [], s=e0[0], t=e0[1])
+        check_soundness_samples(StConnectivityPls(), no, rng,
+                                donor_instances=[yes])
+        check_completeness(NonStConnectivityPls(), no)
+        check_soundness_samples(NonStConnectivityPls(), yes, rng,
+                                donor_instances=[no])
+
+
+class TestCycles:
+    def test_cycle_containment(self, rng):
+        g = cycle_graph(7)
+        check_completeness(CyclePls(), with_h(g, g.edges()))
+
+    def test_no_cycle(self, rng):
+        g = cycle_graph(7)
+        yes = with_h(g, g.edges())
+        no = with_h(g, g.edges()[:-1])
+        check_completeness(NoCyclePls(), no)
+        check_soundness_samples(CyclePls(), no, rng, donor_instances=[yes])
+        check_soundness_samples(NoCyclePls(), yes, rng,
+                                donor_instances=[no])
+
+    def test_e_cycle(self, rng):
+        g = cycle_graph(6)
+        e = edge_key(*g.edges()[0])
+        yes = with_h(g, g.edges(), e=e)
+        check_completeness(ECyclePls(), yes)
+        no = with_h(g, g.edges()[:-1], e=e)
+        check_completeness(NoECyclePls(), no)
+        check_soundness_samples(ECyclePls(), no, rng, donor_instances=[yes])
+        check_soundness_samples(NoECyclePls(), yes, rng,
+                                donor_instances=[no])
+
+    def test_e_not_in_h(self, rng):
+        g = cycle_graph(6)
+        e = edge_key(0, 1)
+        no_h = [ed for ed in g.edges() if edge_key(*ed) != e]
+        inst = with_h(g, no_h, e=e)
+        assert not ECyclePls().applies(inst)
+        check_completeness(NoECyclePls(), inst)
+
+    def test_e_cycle_through_chord(self, rng):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        e = edge_key(0, 3)
+        yes = with_h(g, g.edges(), e=e)
+        check_completeness(ECyclePls(), yes)
+
+
+class TestBipartite:
+    def test_even_cycle(self, rng):
+        g = cycle_graph(6)
+        check_completeness(BipartitePls(), with_h(g, g.edges()))
+
+    def test_odd_cycle(self, rng):
+        g = cycle_graph(7)
+        no = with_h(g, g.edges())
+        check_completeness(NonBipartitePls(), no)
+        even = cycle_graph(6)
+        yes = with_h(even, even.edges())
+        check_soundness_samples(BipartitePls(), no, rng)
+        check_soundness_samples(NonBipartitePls(), yes, rng)
+
+    def test_odd_cycle_inside_larger_graph(self, rng):
+        g = connected_random_graph(9, 0.5, rng)
+        inst = with_h(g, g.edges())
+        scheme = NonBipartitePls() if NonBipartitePls().applies(inst) \
+            else BipartitePls()
+        check_completeness(scheme, inst)
+
+
+class TestCuts:
+    def test_cut_and_not_cut(self, rng):
+        g = cycle_graph(6)
+        yes = with_h(g, [(0, 1), (3, 4)])
+        check_completeness(CutPls(), yes)
+        no = with_h(g, [(0, 1)])
+        check_completeness(NotCutPls(), no)
+        check_soundness_samples(CutPls(), no, rng, donor_instances=[yes])
+        check_soundness_samples(NotCutPls(), yes, rng,
+                                donor_instances=[no])
+
+    def test_st_cut(self, rng):
+        g = cycle_graph(6)
+        yes = with_h(g, [(0, 1), (3, 4)], s=2, t=5)
+        check_completeness(StCutPls(), yes)
+        no = with_h(g, [(0, 1)], s=2, t=5)
+        check_completeness(NotStCutPls(), no)
+        check_soundness_samples(StCutPls(), no, rng, donor_instances=[yes])
+        check_soundness_samples(NotStCutPls(), yes, rng,
+                                donor_instances=[no])
+
+    def test_edge_on_all_paths(self, rng):
+        g = cycle_graph(6)
+        h = [(0, 1), (1, 2), (2, 3)]
+        yes = with_h(g, h, s=0, t=3, e=edge_key(1, 2))
+        check_completeness(EdgeOnAllPathsPls(), yes)
+        h2 = h + [(3, 4), (4, 5), (5, 0)]
+        no = with_h(g, h2, s=0, t=3, e=edge_key(1, 2))
+        check_completeness(EdgeNotOnAllPathsPls(), no)
+        check_soundness_samples(EdgeOnAllPathsPls(), no, rng,
+                                donor_instances=[yes])
+        check_soundness_samples(EdgeNotOnAllPathsPls(), yes, rng,
+                                donor_instances=[no])

@@ -1,0 +1,146 @@
+"""PLS tests: matching (Claim 5.12), weighted distance (Claim 5.13), and
+the Theorem 5.1 PLS→ND-protocol compiler."""
+
+import networkx as nx
+import pytest
+
+from repro.core.mds import MdsFamily
+from repro.cc.functions import random_input_pairs
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.pls import (
+    DistanceAtLeastPls,
+    DistanceLessThanPls,
+    MatchingAtLeastPls,
+    MatchingLessThanPls,
+    SpanningTreePls,
+    check_completeness,
+    check_soundness_samples,
+    pls_to_nondeterministic_protocol,
+)
+from repro.pls.scheme import PlsInstance, edge_key
+from repro.solvers import max_matching_size, weighted_distance
+from tests.conftest import connected_random_graph
+
+
+class TestMatchingPls:
+    def test_at_least_completeness(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+        nu = max_matching_size(g)
+        check_completeness(MatchingAtLeastPls(), PlsInstance(graph=g, k=nu))
+
+    def test_at_least_soundness(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+        nu = max_matching_size(g)
+        yes = PlsInstance(graph=g, k=nu)
+        no = PlsInstance(graph=g, k=nu + 1)
+        check_soundness_samples(MatchingAtLeastPls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_less_than_completeness(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+        nu = max_matching_size(g)
+        check_completeness(MatchingLessThanPls(),
+                           PlsInstance(graph=g, k=nu + 1))
+
+    def test_less_than_soundness(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+        nu = max_matching_size(g)
+        yes = PlsInstance(graph=g, k=nu + 1)
+        no = PlsInstance(graph=g, k=nu)
+        check_soundness_samples(MatchingLessThanPls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_odd_cycle_deficiency(self, rng):
+        g = cycle_graph(7)  # ν = 3, Tutte-Berge needs a real witness
+        check_completeness(MatchingLessThanPls(), PlsInstance(graph=g, k=4))
+
+    def test_perfect_matching_boundary(self, rng):
+        g = complete_graph(6)
+        check_completeness(MatchingAtLeastPls(), PlsInstance(graph=g, k=3))
+        check_completeness(MatchingLessThanPls(), PlsInstance(graph=g, k=4))
+
+
+class TestDistancePls:
+    def _weighted(self, rng):
+        g = connected_random_graph(8, 0.4, rng)
+        for u, v in g.edges():
+            g.set_edge_weight(u, v, rng.randint(1, 9))
+        vs = g.vertices()
+        return g, vs[0], vs[-1]
+
+    def test_at_least(self, rng):
+        g, s, t = self._weighted(rng)
+        d = weighted_distance(g, s, t)
+        check_completeness(DistanceAtLeastPls(),
+                           PlsInstance(graph=g, s=s, t=t, k=d))
+        yes = PlsInstance(graph=g, s=s, t=t, k=d)
+        no = PlsInstance(graph=g, s=s, t=t, k=d + 1)
+        check_soundness_samples(DistanceAtLeastPls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_less_than(self, rng):
+        g, s, t = self._weighted(rng)
+        d = weighted_distance(g, s, t)
+        check_completeness(DistanceLessThanPls(),
+                           PlsInstance(graph=g, s=s, t=t, k=d + 1))
+        yes = PlsInstance(graph=g, s=s, t=t, k=d + 1)
+        no = PlsInstance(graph=g, s=s, t=t, k=d)
+        check_soundness_samples(DistanceLessThanPls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_unreachable_target(self, rng):
+        g = Graph()
+        g.add_edge("s", "a", weight=1)
+        g.add_vertex("t")
+        check_completeness(DistanceAtLeastPls(),
+                           PlsInstance(graph=g, s="s", t="t", k=100))
+
+    def test_fake_shortcut_rejected(self, rng):
+        """An adversary cannot under-claim distances: the min-equality
+        fixpoint is unique with positive weights."""
+        g = path_graph(4)
+        for u, v in g.edges():
+            g.set_edge_weight(u, v, 2)
+        # true distance 6; claim < 5 must fail
+        no = PlsInstance(graph=g, s=0, t=3, k=5)
+        yes = PlsInstance(graph=g, s=0, t=3, k=7)
+        check_soundness_samples(DistanceLessThanPls(), no, rng,
+                                donor_instances=[yes])
+
+
+class TestTheorem51Compiler:
+    def test_compiled_protocol_complete_and_cheap(self, rng):
+        fam = MdsFamily(4)
+        va = fam.alice_vertices()
+
+        def build_instance(x, y):
+            g = fam.build(x, y)
+            root = sorted(g.vertices(), key=repr)[0]
+            tree = list(nx.bfs_tree(g.to_networkx(), root).edges())
+            return PlsInstance(graph=g, subgraph=frozenset(
+                edge_key(u, v) for u, v in tree))
+
+        proto = pls_to_nondeterministic_protocol(SpanningTreePls(),
+                                                 build_instance, va)
+        x, y = random_input_pairs(fam.k_bits, 2, rng)[0]
+        res = proto.check_completeness(x, y)
+        # O(pls-size · |Ecut|): generous constant for python label overhead
+        assert res.bits <= 64 * 64 * len(fam.cut_edges())
+
+    def test_compiled_protocol_rejects_bad_certificates(self, rng):
+        fam = MdsFamily(4)
+        va = fam.alice_vertices()
+
+        def build_instance(x, y):
+            g = fam.build(x, y)
+            root = sorted(g.vertices(), key=repr)[0]
+            tree = list(nx.bfs_tree(g.to_networkx(), root).edges())
+            # drop an edge: NOT a spanning tree
+            return PlsInstance(graph=g, subgraph=frozenset(
+                edge_key(u, v) for u, v in tree[:-1]))
+
+        proto = pls_to_nondeterministic_protocol(SpanningTreePls(),
+                                                 build_instance, va)
+        x, y = random_input_pairs(fam.k_bits, 2, rng)[0]
+        # certificates from empty/garbage space must all be rejected
+        proto.check_soundness(x, y, [({}, {}), (0, 0), ({"a": 1}, {"b": 2})])

@@ -1,0 +1,202 @@
+"""PLS tests: spanning tree, acyclicity, simple path, Hamiltonian cycle
+verification, and negations (Lemma 5.1 items 10-12)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, cycle_graph, path_graph, random_graph
+from repro.pls import (
+    AcyclicityPls,
+    HamiltonianCycleVerificationPls,
+    NotHamiltonianCyclePls,
+    NotSpanningTreePls,
+    SimplePathPls,
+    SpanningTreePls,
+    check_completeness,
+    check_soundness_samples,
+    max_label_bits,
+)
+from repro.pls.scheme import PlsInstance, edge_key
+from tests.conftest import connected_random_graph
+
+
+def with_h(g, edges, **kw):
+    return PlsInstance(graph=g,
+                       subgraph=frozenset(edge_key(u, v) for u, v in edges),
+                       **kw)
+
+
+def bfs_tree_edges(g):
+    root = sorted(g.vertices(), key=repr)[0]
+    return list(nx.bfs_tree(g.to_networkx(), root).edges())
+
+
+class TestSpanningTree:
+    def test_completeness(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        check_completeness(SpanningTreePls(), with_h(g, bfs_tree_edges(g)))
+
+    def test_label_size_logarithmic(self, rng):
+        g = connected_random_graph(10, 0.4, rng)
+        yes = with_h(g, bfs_tree_edges(g))
+        bits = check_completeness(SpanningTreePls(), yes)
+        assert bits <= 400  # O(log n) fields plus python-label overhead
+
+    def test_soundness_missing_edge(self, rng):
+        g = connected_random_graph(8, 0.45, rng)
+        tree = bfs_tree_edges(g)
+        yes = with_h(g, tree)
+        no = with_h(g, tree[:-1])
+        check_soundness_samples(SpanningTreePls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_soundness_extra_edge(self, rng):
+        g = connected_random_graph(8, 0.5, rng)
+        tree = bfs_tree_edges(g)
+        extra = next((u, v) for u, v in g.edges()
+                     if (u, v) not in tree and (v, u) not in tree)
+        yes = with_h(g, tree)
+        no = with_h(g, tree + [extra])
+        check_soundness_samples(SpanningTreePls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_negation_completeness_all_cases(self, rng):
+        g = connected_random_graph(8, 0.5, rng)
+        tree = bfs_tree_edges(g)
+        scheme = NotSpanningTreePls()
+        # case 0: isolated vertex
+        check_completeness(scheme, with_h(g, tree[1:]))
+        # case 1: cycle
+        extra = next((u, v) for u, v in g.edges()
+                     if (u, v) not in tree and (v, u) not in tree)
+        check_completeness(scheme, with_h(g, tree + [extra]))
+        # case 2: forest with two components (drop a non-pendant edge)
+        h = [e for e in tree]
+        # removing any tree edge disconnects; ensure no isolated vertex
+        for i, e in enumerate(h):
+            rest = h[:i] + h[i + 1:]
+            degree = {}
+            for u, v in rest:
+                degree[u] = degree.get(u, 0) + 1
+                degree[v] = degree.get(v, 0) + 1
+            if all(degree.get(v, 0) > 0 for v in g.vertices()):
+                check_completeness(scheme, with_h(g, rest))
+                break
+
+    def test_negation_soundness(self, rng):
+        g = connected_random_graph(8, 0.5, rng)
+        tree = bfs_tree_edges(g)
+        yes = with_h(g, tree)  # NO instance for the negation
+        donor = with_h(g, tree[:-1])
+        check_soundness_samples(NotSpanningTreePls(), yes, rng,
+                                donor_instances=[donor])
+
+
+class TestAcyclicity:
+    def test_forest_accepted(self, rng):
+        g = connected_random_graph(8, 0.5, rng)
+        check_completeness(AcyclicityPls(), with_h(g, bfs_tree_edges(g)))
+
+    def test_partial_forest_accepted(self, rng):
+        g = connected_random_graph(8, 0.5, rng)
+        check_completeness(AcyclicityPls(), with_h(g, bfs_tree_edges(g)[:3]))
+
+    def test_empty_h_accepted(self, rng):
+        g = connected_random_graph(6, 0.5, rng)
+        check_completeness(AcyclicityPls(), with_h(g, []))
+
+    def test_cycle_rejected(self, rng):
+        g = cycle_graph(6)
+        yes = with_h(g, g.edges()[:5])
+        no = with_h(g, g.edges())
+        check_soundness_samples(AcyclicityPls(), no, rng,
+                                donor_instances=[yes])
+
+
+class TestSimplePath:
+    def test_path_accepted(self, rng):
+        g = connected_random_graph(8, 0.5, rng)
+        vs = g.vertices()
+        pth = nx.shortest_path(g.to_networkx(), vs[0], vs[4])
+        if len(pth) >= 2:
+            check_completeness(SimplePathPls(),
+                               with_h(g, list(zip(pth, pth[1:]))))
+
+    def test_star_rejected(self, rng):
+        g = connected_random_graph(8, 0.6, rng)
+        center = max(g.vertices(), key=g.degree)
+        nbrs = sorted(g.neighbors(center), key=repr)[:3]
+        vs = g.vertices()
+        pth = nx.shortest_path(g.to_networkx(), vs[0], vs[4])
+        donor = with_h(g, list(zip(pth, pth[1:])))
+        no = with_h(g, [(center, w) for w in nbrs])
+        check_soundness_samples(SimplePathPls(), no, rng,
+                                donor_instances=[donor])
+
+    def test_two_paths_rejected(self):
+        import random
+
+        g = cycle_graph(8)
+        # two disjoint 2-edge paths
+        no = with_h(g, [(0, 1), (1, 2), (4, 5), (5, 6)])
+        donor = with_h(g, [(0, 1), (1, 2)])
+        check_soundness_samples(SimplePathPls(), no, random.Random(5),
+                                donor_instances=[donor])
+
+    def test_cycle_not_a_path(self, rng):
+        g = cycle_graph(5)
+        donor = with_h(g, g.edges()[:4])
+        no = with_h(g, g.edges())
+        check_soundness_samples(SimplePathPls(), no, rng,
+                                donor_instances=[donor])
+
+
+class TestHamiltonianCycleVerification:
+    def test_cycle_accepted(self, rng):
+        g = cycle_graph(7)
+        bits = check_completeness(HamiltonianCycleVerificationPls(),
+                                  with_h(g, g.edges()))
+        assert bits <= 200
+
+    def test_missing_edge_rejected(self, rng):
+        g = cycle_graph(7)
+        yes = with_h(g, g.edges())
+        no = with_h(g, g.edges()[:-1])
+        check_soundness_samples(HamiltonianCycleVerificationPls(), no, rng,
+                                donor_instances=[yes])
+
+    def test_two_cycles_rejected(self, rng):
+        g = Graph()
+        for i in range(4):
+            g.add_edge(("x", i), ("x", (i + 1) % 4))
+            g.add_edge(("y", i), ("y", (i + 1) % 4))
+        g.add_edge(("x", 0), ("y", 0))
+        h = [e for e in g.edges()
+             if not (("x", 0) in e and ("y", 0) in e)]
+        no = with_h(g, h)
+        cyc = cycle_graph(8)
+        donor = with_h(cyc, cyc.edges())
+        # donor graph differs; soundness via random/zero labels only
+        check_soundness_samples(HamiltonianCycleVerificationPls(), no, rng)
+
+    def test_negation_degree_case(self, rng):
+        g = cycle_graph(7)
+        check_completeness(NotHamiltonianCyclePls(),
+                           with_h(g, g.edges()[:-1]))
+
+    def test_negation_two_cycle_case(self, rng):
+        g = Graph()
+        for i in range(4):
+            g.add_edge(("x", i), ("x", (i + 1) % 4))
+            g.add_edge(("y", i), ("y", (i + 1) % 4))
+        g.add_edge(("x", 0), ("y", 0))
+        h = [e for e in g.edges()
+             if not (("x", 0) in e and ("y", 0) in e)]
+        check_completeness(NotHamiltonianCyclePls(), with_h(g, h))
+
+    def test_negation_soundness(self, rng):
+        g = cycle_graph(7)
+        yes_for_negation = with_h(g, g.edges()[:-1])
+        no_for_negation = with_h(g, g.edges())
+        check_soundness_samples(NotHamiltonianCyclePls(), no_for_negation,
+                                rng, donor_instances=[yes_for_negation])

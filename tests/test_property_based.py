@@ -1,0 +1,169 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codes import PrimeField, ReedSolomonCode, hamming_distance
+from repro.codes.gf import next_prime
+from repro.congest.model import message_bits
+from repro.graphs import Graph
+from repro.solvers import (
+    cut_weight,
+    independence_number,
+    is_dominating_set,
+    is_independent_set,
+    is_vertex_cover,
+    max_cut_value,
+    max_independent_set,
+    min_dominating_set,
+    min_vertex_cover,
+)
+
+# deterministic seeds, modest example counts: the solvers are exponential
+FAST = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def small_graphs(draw, max_n=9):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    g = Graph()
+    g.add_vertices(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                g.add_edge(u, v)
+    return g
+
+
+@FAST
+@given(small_graphs())
+def test_mis_is_independent_and_maximal(g):
+    mis = max_independent_set(g)
+    assert is_independent_set(g, mis)
+    mis_set = set(mis)
+    # maximality: no vertex can be added
+    for v in g.vertices():
+        if v not in mis_set:
+            assert g.neighbors(v) & mis_set or not mis_set and g.n == 0
+
+
+@FAST
+@given(small_graphs())
+def test_gallai_identity(g):
+    """α(G) + τ(G) = n (Gallai)."""
+    assert len(max_independent_set(g)) + len(min_vertex_cover(g)) == g.n
+
+
+@FAST
+@given(small_graphs())
+def test_independence_number_agrees_with_bitmask_solver(g):
+    assert independence_number(g) == len(max_independent_set(g))
+
+
+@FAST
+@given(small_graphs())
+def test_mds_dominates_and_is_minimal(g):
+    ds = min_dominating_set(g)
+    assert is_dominating_set(g, ds)
+    # minimality: dropping any single vertex breaks domination
+    for v in ds:
+        rest = [u for u in ds if u != v]
+        assert not is_dominating_set(g, rest)
+
+
+@FAST
+@given(small_graphs())
+def test_mds_at_most_mvc_plus_isolated(g):
+    """Every vertex cover of a graph without isolated vertices dominates."""
+    isolated = [v for v in g.vertices() if g.degree(v) == 0]
+    cover = min_vertex_cover(g)
+    if not isolated and g.m > 0:
+        assert len(min_dominating_set(g)) <= len(cover)
+
+
+@FAST
+@given(small_graphs(max_n=8))
+def test_max_cut_bounds(g):
+    value = max_cut_value(g)
+    assert 0 <= value <= g.m
+    if g.m:
+        assert value >= g.m / 2  # random assignment bound
+    # complement side gives the same cut
+    __, side = __import__("repro.solvers.maxcut", fromlist=["max_cut"]).max_cut(g)
+    other = [v for v in g.vertices() if v not in set(side)]
+    assert cut_weight(g, side) == cut_weight(g, other) == value
+
+
+@FAST
+@given(small_graphs())
+def test_bfs_distance_triangle_inequality(g):
+    for src in list(g.vertices())[:3]:
+        dist = g.bfs_distances(src)
+        for u, v in g.edges():
+            if u in dist and v in dist:
+                assert abs(dist[u] - dist[v]) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=40),
+       st.integers(min_value=1, max_value=4))
+def test_reed_solomon_distance_property(n, k):
+    if k > n:
+        k = n
+    q = next_prime(n + 1)
+    rs = ReedSolomonCode(PrimeField(q), n=n, k=k)
+    # sample codeword pairs: distance ≥ n − k + 1
+    words = [rs.encode_int(i) for i in range(min(rs.size, 12))]
+    for i in range(len(words)):
+        for j in range(i + 1, len(words)):
+            assert hamming_distance(words[i], words[j]) >= rs.distance
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_message_bits_monotone_in_magnitude(x):
+    assert message_bits(x) >= 1
+    assert message_bits(x * 2 + 1) >= message_bits(x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=6))
+def test_message_bits_container_superadditive(xs):
+    assert message_bits(tuple(xs)) >= sum(message_bits(x) for x in xs)
+
+
+@FAST
+@given(small_graphs(max_n=8), st.integers(min_value=1, max_value=3))
+def test_k_domination_monotone_in_k(g, k):
+    from tests.conftest import brute_force_mds_size
+
+    assert brute_force_mds_size(g, k=k) >= brute_force_mds_size(g, k=k + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.tuples(*[st.integers(0, 1)] * 4), st.tuples(*[st.integers(0, 1)] * 4))
+def test_mds_family_lemma_holds_for_all_inputs(x, y):
+    """Lemma 2.1 at k = 2 under arbitrary (hypothesis-driven) inputs."""
+    from repro.cc.functions import disjointness
+    from repro.core.mds import MdsFamily
+
+    fam = MdsFamily(2)
+    assert fam.predicate(fam.build(x, y)) == (not disjointness(x, y))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.tuples(*[st.integers(0, 1)] * 4), st.tuples(*[st.integers(0, 1)] * 4))
+def test_mvc_family_lemma_holds_for_all_inputs(x, y):
+    """The base family's α gap at k = 2 under arbitrary inputs."""
+    from repro.cc.functions import disjointness
+    from repro.core.mvc import MvcMaxISFamily
+
+    fam = MvcMaxISFamily(2)
+    alpha = len(max_independent_set(fam.build(x, y)))
+    if disjointness(x, y):
+        assert alpha <= fam.alpha_no
+    else:
+        assert alpha == fam.alpha_yes

@@ -1,0 +1,128 @@
+"""Reduction tests: Lemmas 2.2/2.3, Claim 2.7, Theorem 2.6 families."""
+
+import pytest
+
+from repro.cc.functions import random_input_pairs, random_intersecting_pair
+from repro.core.family import validate_family
+from repro.core.hamiltonian import START, HamiltonianCycleFamily
+from repro.core.reductions import (
+    directed_to_undirected_hc,
+    hc_to_hp,
+    two_ecss_family,
+    undirected_hc_family,
+    undirected_hp_family,
+)
+from repro.graphs import DiGraph, complete_graph, cycle_graph, random_graph
+from repro.solvers import (
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+    is_hamiltonian_cycle,
+)
+
+
+def random_digraph(n, p, rng):
+    g = DiGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+class TestLemma22:
+    def test_triple_split_structure(self):
+        dg = DiGraph()
+        dg.add_edge(0, 1)
+        und = directed_to_undirected_hc(dg)
+        assert und.n == 6
+        assert und.has_edge(("in", 0), ("mid", 0))
+        assert und.has_edge(("mid", 0), ("out", 0))
+        assert und.has_edge(("out", 0), ("in", 1))
+
+    def test_directed_cycle_maps_to_cycle(self):
+        dg = DiGraph()
+        for i in range(4):
+            dg.add_edge(i, (i + 1) % 4)
+        assert has_hamiltonian_cycle(directed_to_undirected_hc(dg))
+
+    def test_orientation_preserved(self):
+        # a directed path is NOT a directed cycle; neither is its image
+        dg = DiGraph()
+        dg.add_edge(0, 1)
+        dg.add_edge(1, 2)
+        assert not has_hamiltonian_cycle(directed_to_undirected_hc(dg))
+
+    def test_equivalence_random(self, rng):
+        for __ in range(8):
+            dg = random_digraph(6, 0.35, rng)
+            assert has_hamiltonian_cycle(dg) == \
+                has_hamiltonian_cycle(directed_to_undirected_hc(dg))
+
+
+class TestLemma23:
+    def test_pivot_split_structure(self):
+        g = cycle_graph(4)
+        hp = hc_to_hp(g, pivot=0)
+        assert ("pivot", 1) in hp and ("pivot", 2) in hp
+        assert hp.has_edge("hp_s", ("pivot", 1))
+        assert hp.has_edge(("pivot", 2), "hp_t")
+
+    def test_cycle_becomes_path(self):
+        g = cycle_graph(5)
+        assert has_hamiltonian_path(hc_to_hp(g))
+
+    def test_equivalence_random(self, rng):
+        for __ in range(8):
+            g = random_graph(7, 0.45, rng)
+            hp = hc_to_hp(g, pivot=g.vertices()[0])
+            assert has_hamiltonian_cycle(g) == has_hamiltonian_path(hp)
+
+    def test_default_pivot_is_min(self):
+        g = cycle_graph(4)
+        hp = hc_to_hp(g)
+        assert 0 not in hp  # the min-id vertex was split
+
+
+class TestReducedFamilies:
+    """Theorem 2.6: the derived families satisfy Definition 1.1; the
+    predicate equivalence is carried by the verified Lemma 2.2/2.3
+    equivalences composed with the verified base family (Claims 2.1-2.6)."""
+
+    def test_undirected_hc_family_structure(self):
+        base = HamiltonianCycleFamily(2)
+        fam = undirected_hc_family(base)
+        validate_family(fam)
+        assert fam.n_vertices() == 3 * base.n_vertices()
+
+    def test_undirected_hp_family_structure(self):
+        base = HamiltonianCycleFamily(2)
+        fam = undirected_hp_family(base, pivot=START)
+        validate_family(fam)
+        # pivot split: 3n − 1 + 4 vertices
+        assert fam.n_vertices() == 3 * base.n_vertices() + 3
+
+    def test_two_ecss_family_structure(self):
+        base = HamiltonianCycleFamily(2)
+        fam = two_ecss_family(base)
+        validate_family(fam)
+
+    def test_positive_instance_composes(self, rng):
+        """On an intersecting input the base witness lifts through the
+        reduction: the transformed graph is Hamiltonian."""
+        base = HamiltonianCycleFamily(2)
+        fam = undirected_hc_family(base)
+        x, y = random_intersecting_pair(4, rng)
+        cycle = base.witness_cycle(x, y)
+        # lift the directed cycle through the in/mid/out split by hand
+        lifted = []
+        for v in cycle:
+            lifted += [("in", v), ("mid", v), ("out", v)]
+        assert is_hamiltonian_cycle(fam.build(x, y), lifted)
+
+    def test_cut_scaling(self):
+        base = HamiltonianCycleFamily(2)
+        fam = undirected_hc_family(base)
+        # each original cut arc becomes one undirected cut edge
+        assert len(fam.cut_edges()) == len(base.cut_edges())

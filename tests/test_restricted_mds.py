@@ -1,0 +1,124 @@
+"""Section 4.5 restricted MDS tests (Theorem 4.8, Lemma 4.7) and the
+local-aggregate machinery."""
+
+import pytest
+
+from repro.cc.functions import (
+    disjointness,
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.congest.local_aggregate import (
+    GreedyMdsSpec,
+    run_local_aggregate,
+    simulate_shared_two_party,
+)
+from repro.core.kmds import A_SPECIAL, B_SPECIAL, R_SPECIAL, scomp, svert
+from repro.core.restricted_mds import RestrictedMdsConstruction, element
+from repro.covering.designs import build_covering_collection
+from repro.graphs import complete_graph, cycle_graph, random_graph
+from repro.solvers import is_dominating_set
+from tests.conftest import connected_random_graph
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return build_covering_collection(universe_size=16, T=6, r=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def rm(collection):
+    return RestrictedMdsConstruction(collection)
+
+
+class TestConstruction:
+    def test_single_element_vertices(self, rm, rng):
+        g = rm.build(*random_input_pairs(rm.k_bits, 1, rng)[0])
+        for j in range(rm.ell):
+            assert element(j) in g
+        # each element adjacent to the sets containing it on both sides
+        cc = rm.collection
+        for i in range(cc.T):
+            for j in range(rm.ell):
+                in_set = j in cc.sets[i]
+                assert g.has_edge(svert(i), element(j)) == in_set
+                assert g.has_edge(scomp(i), element(j)) == (not in_set)
+
+    def test_shared_vertices_disjoint_from_sides(self, rm):
+        assert not rm.shared_vertices() & rm.alice_vertices()
+
+    def test_lemma_47_gap(self, rm, rng):
+        x, y = random_intersecting_pair(rm.k_bits, rng)
+        assert rm.optimum(rm.build(x, y)) == 2
+        x, y = random_disjoint_pair(rm.k_bits, rng)
+        assert rm.optimum(rm.build(x, y)) > rm.collection.r
+
+    def test_iff_sweep(self, rm, rng):
+        for x, y in random_input_pairs(rm.k_bits, 6, rng):
+            assert rm.predicate(rm.build(x, y)) == (not disjointness(x, y))
+
+
+class TestLocalAggregateFramework:
+    def test_greedy_full_run_dominates(self, rng):
+        g = connected_random_graph(10, 0.35, rng)
+        run = run_local_aggregate(g, GreedyMdsSpec())
+        ds = [v for v, b in run.outputs.items() if b]
+        assert is_dominating_set(g, ds)
+
+    def test_greedy_on_clique(self):
+        run = run_local_aggregate(complete_graph(6), GreedyMdsSpec())
+        assert sum(run.outputs.values()) == 1
+
+    def test_aggregate_is_splitting(self):
+        """Definition 4.1: f(X) = φ(f(X1), f(X2)) for the (max, +, +)
+        monoid."""
+        spec = GreedyMdsSpec()
+        msgs = [((3, 1), 1, 1), ((5, 0), 0, 1), ((2, 2), 1, 1)]
+        whole = spec.identity
+        for m in msgs:
+            whole = spec.combine(whole, m)
+        left = spec.combine(spec.identity, msgs[0])
+        right = spec.identity
+        for m in msgs[1:]:
+            right = spec.combine(right, m)
+        assert spec.combine(left, right) == whole
+
+    def test_two_party_matches_full_run(self, rng):
+        g = connected_random_graph(9, 0.4, rng)
+        vs = g.vertices()
+        full = run_local_aggregate(g, GreedyMdsSpec())
+        sim = simulate_shared_two_party(g, set(vs[:4]), set(vs[4:6]),
+                                        GreedyMdsSpec())
+        assert sim.outputs == full.outputs
+        assert sim.rounds == full.rounds
+
+    def test_shared_bits_counted(self, rm, rng):
+        x, y = random_input_pairs(rm.k_bits, 2, rng)[0]
+        run = rm.simulate_greedy_two_party(x, y)
+        assert run.shared_bits > 0
+        ds = [v for v, b in run.outputs.items() if b]
+        assert is_dominating_set(rm.build(x, y), ds)
+
+    def test_theorem_48_bit_rate(self, rm, rng):
+        """Per round, the shared exchange is O(ℓ · log n) bits."""
+        import math
+
+        x, y = random_input_pairs(rm.k_bits, 2, rng)[1]
+        run = rm.simulate_greedy_two_party(x, y)
+        g = rm.build(x, y)
+        logn = math.log2(g.n)
+        per_round = run.shared_bits / run.rounds
+        # two partial aggregates of O(log n) bits per shared vertex; the
+        # GreedyMdsSpec keys carry a 16-bit fixed-point scale on top
+        assert per_round <= 2 * rm.ell * (16 + 4 * logn)
+
+    def test_greedy_solution_quality(self, rm, rng):
+        """The greedy local-aggregate algorithm lands within O(log n) of
+        the optimum on intersecting instances."""
+        x, y = random_intersecting_pair(rm.k_bits, rng)
+        run = rm.simulate_greedy_two_party(x, y)
+        g = rm.build(x, y)
+        weight = sum(g.vertex_weight(v)
+                     for v, b in run.outputs.items() if b)
+        assert weight <= 6 * rm.collection.universe_size  # sanity bound

@@ -1,0 +1,149 @@
+"""Exact dominating-set / set-cover solver tests."""
+
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, random_graph
+from repro.solvers import (
+    has_dominating_set_of_size,
+    is_dominating_set,
+    min_dominating_set,
+    min_dominating_set_weight,
+    min_k_dominating_set_weight,
+    min_set_cover,
+)
+from repro.solvers.dominating import constrained_min_dominating_set
+from tests.conftest import brute_force_mds_size, brute_force_mds_weight
+
+
+class TestIsDominatingSet:
+    def test_all_vertices(self):
+        g = cycle_graph(5)
+        assert is_dominating_set(g, g.vertices())
+
+    def test_empty_fails_on_nonempty_graph(self):
+        assert not is_dominating_set(cycle_graph(4), [])
+
+    def test_center_of_star(self):
+        g = Graph()
+        for leaf in range(6):
+            g.add_edge("c", leaf)
+        assert is_dominating_set(g, ["c"])
+        assert not is_dominating_set(g, [0])
+
+    def test_distance_two(self):
+        g = path_graph(5)
+        assert is_dominating_set(g, [2], k=2)
+        assert not is_dominating_set(g, [2], k=1)
+
+
+class TestMinDominatingSet:
+    def test_cycle_values(self):
+        for n, expected in ((3, 1), (4, 2), (6, 2), (7, 3), (9, 3)):
+            assert len(min_dominating_set(cycle_graph(n))) == expected
+
+    def test_complete_graph(self):
+        assert len(min_dominating_set(complete_graph(7))) == 1
+
+    def test_matches_brute_force(self, rng):
+        for __ in range(10):
+            g = random_graph(8, 0.35, rng)
+            assert len(min_dominating_set(g)) == brute_force_mds_size(g)
+
+    def test_result_dominates(self, rng):
+        for __ in range(8):
+            g = random_graph(9, 0.3, rng)
+            assert is_dominating_set(g, min_dominating_set(g))
+
+    def test_decision_version(self):
+        g = cycle_graph(9)
+        assert has_dominating_set_of_size(g, 3)
+        assert not has_dominating_set_of_size(g, 2)
+
+    def test_weighted_matches_brute_force(self, rng):
+        for __ in range(6):
+            g = random_graph(7, 0.4, rng)
+            for v in g.vertices():
+                g.set_vertex_weight(v, rng.randint(1, 6))
+            assert min_dominating_set_weight(g) == brute_force_mds_weight(g)
+
+    def test_weighted_prefers_cheap(self):
+        g = Graph()
+        for leaf in range(4):
+            g.add_edge("hub", leaf)
+            g.add_edge("cheap_hub", leaf)
+        g.add_edge("hub", "cheap_hub")
+        g.set_vertex_weight("hub", 10)
+        g.set_vertex_weight("cheap_hub", 1)
+        for leaf in range(4):
+            g.set_vertex_weight(leaf, 5)
+        assert min_dominating_set_weight(g) == 1
+
+    def test_k_domination_matches_brute_force(self, rng):
+        for k in (2, 3):
+            g = random_graph(8, 0.3, rng)
+            for v in g.vertices():
+                g.set_vertex_weight(v, rng.randint(1, 4))
+            assert min_k_dominating_set_weight(g, k) == \
+                brute_force_mds_weight(g, k=k)
+
+    def test_zero_weight_vertices(self):
+        g = path_graph(3)
+        g.set_vertex_weight(1, 0)
+        assert min_dominating_set_weight(g) == 0
+
+
+class TestConstrainedDomination:
+    def test_forced_vertices_included(self):
+        g = cycle_graph(6)
+        weight, picked = constrained_min_dominating_set(g, forced=[0])
+        assert 0 in picked
+        assert is_dominating_set(g, picked)
+
+    def test_candidate_restriction(self):
+        g = path_graph(5)  # optimal {1, 3}; restrict to even vertices
+        weight, picked = constrained_min_dominating_set(
+            g, candidates=[0, 2, 4])
+        assert set(picked) == {0, 2, 4}
+
+    def test_infeasible_candidates(self):
+        g = path_graph(5)
+        weight, picked = constrained_min_dominating_set(g, candidates=[0])
+        assert picked is None
+
+    def test_budget_exceeded(self):
+        g = cycle_graph(9)  # optimum 3
+        __, picked = constrained_min_dominating_set(g, budget=2.5)
+        assert picked is None
+
+    def test_targets_subset(self):
+        g = path_graph(5)
+        weight, picked = constrained_min_dominating_set(g, targets=[0])
+        assert weight == 1
+
+
+class TestSetCover:
+    def test_simple(self):
+        weight, choice = min_set_cover(4, [([0, 1], 1), ([2, 3], 1),
+                                           ([0, 1, 2, 3], 3)])
+        assert weight == 2
+        assert sorted(choice) == [0, 1]
+
+    def test_prefers_cheap_big_set(self):
+        weight, choice = min_set_cover(4, [([0], 1), ([1], 1), ([2], 1),
+                                           ([3], 1), ([0, 1, 2, 3], 2)])
+        assert weight == 2
+        assert choice == [4]
+
+    def test_budget(self):
+        weight, choice = min_set_cover(3, [([0], 1), ([1], 1), ([2], 1)],
+                                       budget=2.5)
+        assert choice is None
+
+    def test_element_out_of_range(self):
+        with pytest.raises(ValueError):
+            min_set_cover(2, [([5], 1)])
+
+    def test_zero_elements(self):
+        weight, choice = min_set_cover(0, [])
+        assert weight == 0
+        assert choice == []

@@ -1,0 +1,130 @@
+"""Exact MaxIS / MVC solver tests, including brute-force cross-checks."""
+
+import random
+
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, random_graph
+from repro.solvers import (
+    is_independent_set,
+    is_vertex_cover,
+    max_independent_set,
+    max_independent_set_weight,
+    min_vertex_cover,
+    min_vertex_cover_size,
+)
+from tests.conftest import brute_force_mis_size, brute_force_mvc_size
+
+
+class TestIsIndependentSet:
+    def test_empty_set(self):
+        assert is_independent_set(cycle_graph(4), [])
+
+    def test_single_vertex(self):
+        assert is_independent_set(cycle_graph(4), [0])
+
+    def test_adjacent_pair_rejected(self):
+        assert not is_independent_set(cycle_graph(4), [0, 1])
+
+    def test_duplicates_rejected(self):
+        assert not is_independent_set(cycle_graph(4), [0, 0])
+
+    def test_opposite_pair(self):
+        assert is_independent_set(cycle_graph(4), [0, 2])
+
+
+class TestMaxIndependentSet:
+    def test_cycle_values(self):
+        for n, expected in ((3, 1), (4, 2), (5, 2), (6, 3), (7, 3)):
+            assert len(max_independent_set(cycle_graph(n))) == expected
+
+    def test_complete_graph(self):
+        assert len(max_independent_set(complete_graph(6))) == 1
+
+    def test_path(self):
+        assert len(max_independent_set(path_graph(7))) == 4
+
+    def test_empty_graph(self):
+        assert max_independent_set(Graph()) == []
+
+    def test_edgeless(self):
+        g = Graph()
+        g.add_vertices(range(5))
+        assert len(max_independent_set(g)) == 5
+
+    def test_returned_set_is_independent(self, rng):
+        for __ in range(10):
+            g = random_graph(9, 0.4, rng)
+            mis = max_independent_set(g)
+            assert is_independent_set(g, mis)
+
+    def test_matches_brute_force(self, rng):
+        for __ in range(12):
+            g = random_graph(8, rng.uniform(0.2, 0.7), rng)
+            assert len(max_independent_set(g)) == brute_force_mis_size(g)
+
+    def test_weighted_matches_brute_force(self, rng):
+        for __ in range(10):
+            g = random_graph(7, 0.45, rng)
+            for v in g.vertices():
+                g.set_vertex_weight(v, rng.randint(1, 8))
+            assert max_independent_set_weight(g) == \
+                brute_force_mis_size(g, weighted=True)
+
+    def test_weighted_prefers_heavy_vertex(self):
+        g = path_graph(3)  # 0-1-2
+        g.set_vertex_weight(0, 1)
+        g.set_vertex_weight(1, 10)
+        g.set_vertex_weight(2, 1)
+        assert max_independent_set_weight(g) == 10
+
+    def test_unweighted_ignores_weights(self):
+        g = path_graph(3)
+        g.set_vertex_weight(1, 100)
+        assert max_independent_set_weight(g, weighted=False) == 2
+
+    def test_negative_weight_rejected(self):
+        g = path_graph(2)
+        g.set_vertex_weight(0, -1)
+        with pytest.raises(ValueError):
+            max_independent_set(g, weighted=True)
+
+    def test_disconnected_components(self):
+        g = Graph()
+        g.add_clique(["a", "b", "c"])
+        g.add_clique(["x", "y"])
+        g.add_vertex("lone")
+        assert len(max_independent_set(g)) == 3
+
+    def test_large_clique_union(self):
+        g = Graph()
+        for block in range(6):
+            g.add_clique([(block, i) for i in range(5)])
+        assert len(max_independent_set(g)) == 6
+
+
+class TestMinVertexCover:
+    def test_cycle_values(self):
+        for n, expected in ((3, 2), (4, 2), (5, 3), (6, 3)):
+            assert min_vertex_cover_size(cycle_graph(n)) == expected
+
+    def test_cover_is_valid(self, rng):
+        for __ in range(8):
+            g = random_graph(9, 0.4, rng)
+            assert is_vertex_cover(g, min_vertex_cover(g))
+
+    def test_matches_brute_force(self, rng):
+        for __ in range(8):
+            g = random_graph(8, 0.5, rng)
+            assert min_vertex_cover_size(g) == brute_force_mvc_size(g)
+
+    def test_complement_relation(self, rng):
+        g = random_graph(9, 0.4, rng)
+        assert min_vertex_cover_size(g) + \
+            len(max_independent_set(g)) == g.n
+
+    def test_star(self):
+        g = Graph()
+        for leaf in range(5):
+            g.add_edge("center", leaf)
+        assert min_vertex_cover_size(g) == 1

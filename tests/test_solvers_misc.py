@@ -1,0 +1,221 @@
+"""Matching, flow, distance, 2-ECSS, 2-spanner and MaxSAT solver tests."""
+
+import pytest
+
+from repro.formulas import CNF, neg, pos
+from repro.graphs import DiGraph, Graph, complete_graph, cycle_graph, path_graph, random_graph
+from repro.solvers import (
+    bridges,
+    dijkstra,
+    has_two_ecss_with_edges,
+    is_two_edge_connected,
+    is_two_spanner,
+    max_flow,
+    max_matching,
+    max_matching_size,
+    max_sat_assignment,
+    max_sat_value,
+    min_st_cut,
+    min_two_ecss_edges,
+    min_two_spanner,
+    min_two_spanner_cost,
+    tutte_berge_value,
+    tutte_berge_witness,
+    weighted_distance,
+)
+from tests.conftest import connected_random_graph
+
+
+class TestMatching:
+    def test_path_matchings(self):
+        assert max_matching_size(path_graph(4)) == 2
+        assert max_matching_size(path_graph(5)) == 2
+
+    def test_complete(self):
+        assert max_matching_size(complete_graph(6)) == 3
+        assert max_matching_size(complete_graph(7)) == 3
+
+    def test_matching_is_valid(self, rng):
+        g = random_graph(10, 0.4, rng)
+        used = set()
+        for u, v in max_matching(g):
+            assert g.has_edge(u, v)
+            assert u not in used and v not in used
+            used.update((u, v))
+
+    def test_tutte_berge_witness_tight(self, rng):
+        for __ in range(6):
+            g = random_graph(8, 0.35, rng)
+            witness = tutte_berge_witness(g)
+            assert tutte_berge_value(g, witness) == max_matching_size(g)
+
+    def test_tutte_berge_upper_bound(self, rng):
+        from itertools import combinations
+
+        g = random_graph(7, 0.4, rng)
+        nu = max_matching_size(g)
+        for r in range(3):
+            for u_set in combinations(g.vertices(), r):
+                assert tutte_berge_value(g, u_set) >= nu
+
+
+class TestFlow:
+    def test_unit_path(self):
+        g = path_graph(4)
+        value, flow = max_flow(g, 0, 3)
+        assert value == 1
+
+    def test_cycle_two_paths(self):
+        g = cycle_graph(6)
+        value, __ = max_flow(g, 0, 3)
+        assert value == 2
+
+    def test_capacities(self):
+        g = path_graph(3)
+        g.set_edge_weight(0, 1, 5)
+        g.set_edge_weight(1, 2, 3)
+        value, __ = max_flow(g, 0, 2)
+        assert value == 3
+
+    def test_directed(self):
+        dg = DiGraph()
+        dg.add_edge("s", "a", weight=2)
+        dg.add_edge("a", "t", weight=1)
+        value, __ = max_flow(dg, "s", "t")
+        assert value == 1
+
+    def test_min_cut_matches_flow(self, rng):
+        for __ in range(6):
+            g = connected_random_graph(8, 0.4, rng)
+            for u, v in g.edges():
+                g.set_edge_weight(u, v, rng.randint(1, 5))
+            vs = g.vertices()
+            fvalue, __f = max_flow(g, vs[0], vs[-1])
+            cvalue, side = min_st_cut(g, vs[0], vs[-1])
+            assert abs(fvalue - cvalue) < 1e-9
+            # cut side weight really equals the value
+            w = sum(g.edge_weight(u, v) for u, v in g.edges()
+                    if (u in side) != (v in side))
+            assert abs(w - cvalue) < 1e-9
+
+    def test_same_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            max_flow(path_graph(2), 0, 0)
+
+
+class TestDistance:
+    def test_unweighted(self):
+        assert weighted_distance(path_graph(5), 0, 4) == 4
+
+    def test_weighted(self):
+        g = cycle_graph(4)
+        g.set_edge_weight(0, 1, 10)
+        g.set_edge_weight(1, 2, 10)
+        assert weighted_distance(g, 0, 2) == 2  # around the other way
+
+    def test_unreachable(self):
+        g = Graph()
+        g.add_vertices([0, 1])
+        assert weighted_distance(g, 0, 1) == float("inf")
+
+    def test_negative_weight_rejected(self):
+        g = path_graph(2)
+        g.set_edge_weight(0, 1, -1)
+        with pytest.raises(ValueError):
+            dijkstra(g, 0)
+
+
+class TestTwoEcss:
+    def test_bridges_of_path(self):
+        assert len(bridges(path_graph(4))) == 3
+
+    def test_cycle_has_no_bridges(self):
+        assert bridges(cycle_graph(5)) == []
+
+    def test_two_edge_connected(self):
+        assert is_two_edge_connected(cycle_graph(4))
+        assert not is_two_edge_connected(path_graph(4))
+
+    def test_min_two_ecss_of_cycle(self):
+        assert min_two_ecss_edges(cycle_graph(5)) == 5
+
+    def test_min_two_ecss_of_k4(self):
+        assert min_two_ecss_edges(complete_graph(4)) == 4
+
+    def test_claim_2_7(self, rng):
+        """2-ECSS with exactly n edges iff Hamiltonian (Claim 2.7)."""
+        from repro.solvers import has_hamiltonian_cycle
+
+        for __ in range(8):
+            g = random_graph(6, 0.55, rng)
+            assert has_two_ecss_with_edges(g, g.n) == \
+                has_hamiltonian_cycle(g)
+
+    def test_too_few_edges_impossible(self):
+        g = cycle_graph(5)
+        assert not has_two_ecss_with_edges(g, 4)
+
+
+class TestTwoSpanner:
+    def test_keeping_everything_is_a_spanner(self):
+        g = complete_graph(4)
+        assert is_two_spanner(g, g.edges())
+
+    def test_star_spans_clique(self):
+        g = complete_graph(4)
+        star = [(0, v) for v in (1, 2, 3)]
+        assert is_two_spanner(g, star)
+
+    def test_missing_coverage_detected(self):
+        g = cycle_graph(5)
+        assert not is_two_spanner(g, g.edges()[:2])
+
+    def test_min_spanner_of_clique(self):
+        g = complete_graph(4)
+        cost, edges = min_two_spanner(g)
+        assert cost == 3  # one star
+
+    def test_weights_matter(self):
+        g = complete_graph(3)
+        g.set_edge_weight(0, 1, 10)
+        g.set_edge_weight(1, 2, 1)
+        g.set_edge_weight(0, 2, 1)
+        # spanning (0,1) via vertex 2 costs 2 < 10
+        assert min_two_spanner_cost(g) == 2
+
+    def test_limit(self):
+        with pytest.raises(ValueError):
+            min_two_spanner(complete_graph(9))
+
+
+class TestMaxSat:
+    def test_trivially_satisfiable(self):
+        cnf = CNF([[pos("a")], [pos("b")]])
+        assert max_sat_value(cnf) == 2
+
+    def test_contradiction(self):
+        cnf = CNF([[pos("a")], [neg("a")]])
+        assert max_sat_value(cnf) == 1
+
+    def test_two_clause(self):
+        cnf = CNF([[pos("a"), pos("b")], [neg("a"), pos("b")], [neg("b")]])
+        value, assignment = max_sat_assignment(cnf)
+        assert value == 2
+        assert cnf.satisfied_count(assignment) == value
+
+    def test_component_decomposition(self):
+        clauses = []
+        for i in range(8):
+            clauses.append([pos(("x", i))])
+            clauses.append([neg(("x", i))])
+        cnf = CNF(clauses)
+        assert max_sat_value(cnf) == 8
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNF([[]])
+
+    def test_occurrences(self):
+        cnf = CNF([[pos("a"), pos("b")], [neg("a")]])
+        assert cnf.occurrences("a") == 2
+        assert cnf.occurrences("b") == 1

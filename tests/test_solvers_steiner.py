@@ -1,0 +1,162 @@
+"""Steiner tree solver tests (Dreyfus-Wagner and the §4.4 variants)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.graphs import DiGraph, Graph, complete_graph, cycle_graph, path_graph, random_graph
+from repro.solvers import is_steiner_tree, steiner_tree, steiner_tree_cost
+from repro.solvers.steiner import (
+    min_directed_steiner_reachability_cost,
+    min_node_weighted_steiner_cost,
+)
+from tests.conftest import connected_random_graph
+
+
+def brute_force_steiner_cost(graph, terminals):
+    """Reference: minimum spanning-tree cost over all supersets."""
+    terminals = set(terminals)
+    others = [v for v in graph.vertices() if v not in terminals]
+    best = float("inf")
+    for r in range(len(others) + 1):
+        for extra in combinations(others, r):
+            vs = terminals | set(extra)
+            sub = graph.induced_subgraph(vs)
+            if not sub.is_connected():
+                continue
+            # MST of induced subgraph
+            import networkx as nx
+
+            t = nx.minimum_spanning_tree(sub.to_networkx())
+            cost = sum(d["weight"] for _u, _v, d in t.edges(data=True))
+            best = min(best, cost)
+    return best
+
+
+class TestSteinerTreeCost:
+    def test_two_terminals_is_shortest_path(self):
+        g = path_graph(5)
+        assert steiner_tree_cost(g, [0, 4]) == 4
+
+    def test_single_terminal(self):
+        assert steiner_tree_cost(cycle_graph(5), [0]) == 0
+
+    def test_all_terminals_is_mst(self):
+        g = cycle_graph(4)
+        assert steiner_tree_cost(g, g.vertices()) == 3
+
+    def test_weighted_shortcut(self):
+        g = cycle_graph(4)
+        for u, v in g.edges():
+            g.set_edge_weight(u, v, 1)
+        g.set_edge_weight(0, 1, 10)
+        assert steiner_tree_cost(g, [0, 1]) == 3
+
+    def test_matches_brute_force(self, rng):
+        for __ in range(6):
+            g = connected_random_graph(7, 0.5, rng)
+            for u, v in g.edges():
+                g.set_edge_weight(u, v, rng.randint(1, 5))
+            terms = g.vertices()[:3]
+            assert abs(steiner_tree_cost(g, terms) -
+                       brute_force_steiner_cost(g, terms)) < 1e-9
+
+    def test_terminal_limit(self):
+        g = complete_graph(16)
+        with pytest.raises(ValueError):
+            steiner_tree_cost(g, g.vertices())
+
+    def test_tree_recovery(self, rng):
+        g = connected_random_graph(7, 0.5, rng)
+        terms = g.vertices()[:3]
+        cost, edges = steiner_tree(g, terms)
+        assert is_steiner_tree(g, edges, terms)
+        assert abs(sum(g.edge_weight(u, v) for u, v in edges) - cost) < 1e-9
+
+
+class TestIsSteinerTree:
+    def test_accepts_path(self):
+        g = path_graph(4)
+        assert is_steiner_tree(g, [(0, 1), (1, 2), (2, 3)], [0, 3])
+
+    def test_rejects_cycle(self):
+        g = cycle_graph(3)
+        assert not is_steiner_tree(g, g.edges(), [0, 1])
+
+    def test_rejects_disconnected(self):
+        g = path_graph(4)
+        assert not is_steiner_tree(g, [(0, 1), (2, 3)], [0, 3])
+
+    def test_rejects_non_spanning(self):
+        g = path_graph(4)
+        assert not is_steiner_tree(g, [(0, 1)], [0, 3])
+
+    def test_rejects_fake_edges(self):
+        g = path_graph(4)
+        assert not is_steiner_tree(g, [(0, 3)], [0, 3])
+
+
+class TestNodeWeightedSteiner:
+    def test_free_graph(self):
+        g = cycle_graph(5)
+        for v in g.vertices():
+            g.set_vertex_weight(v, 0)
+        assert min_node_weighted_steiner_cost(g, [0, 2]) == 0
+
+    def test_mandatory_middle_vertex(self):
+        g = path_graph(3)
+        g.set_vertex_weight(0, 0)
+        g.set_vertex_weight(2, 0)
+        g.set_vertex_weight(1, 7)
+        assert min_node_weighted_steiner_cost(g, [0, 2]) == 7
+
+    def test_chooses_cheaper_branch(self):
+        g = Graph()
+        g.add_edges([("s", "a"), ("a", "t"), ("s", "b"), ("b", "t")])
+        g.set_vertex_weight("s", 0)
+        g.set_vertex_weight("t", 0)
+        g.set_vertex_weight("a", 3)
+        g.set_vertex_weight("b", 1)
+        assert min_node_weighted_steiner_cost(g, ["s", "t"]) == 1
+
+    def test_terminal_weights_charged(self):
+        g = path_graph(2)
+        g.set_vertex_weight(0, 2)
+        g.set_vertex_weight(1, 3)
+        assert min_node_weighted_steiner_cost(g, [0, 1]) == 5
+
+    def test_limit(self):
+        g = complete_graph(20)
+        with pytest.raises(ValueError):
+            min_node_weighted_steiner_cost(g, [0, 1], limit_candidates=5)
+
+
+class TestDirectedSteinerReachability:
+    def test_simple_path(self):
+        dg = DiGraph()
+        dg.add_edge("r", "a", weight=2)
+        dg.add_edge("a", "t", weight=0)
+        assert min_directed_steiner_reachability_cost(dg, "r", ["t"]) == 2
+
+    def test_picks_cheaper_route(self):
+        dg = DiGraph()
+        dg.add_edge("r", "a", weight=5)
+        dg.add_edge("a", "t", weight=0)
+        dg.add_edge("r", "b", weight=1)
+        dg.add_edge("b", "t", weight=0)
+        assert min_directed_steiner_reachability_cost(dg, "r", ["t"]) == 1
+
+    def test_shared_prefix(self):
+        dg = DiGraph()
+        dg.add_edge("r", "hub", weight=3)
+        dg.add_edge("hub", "t1", weight=0)
+        dg.add_edge("hub", "t2", weight=0)
+        assert min_directed_steiner_reachability_cost(
+            dg, "r", ["t1", "t2"]) == 3
+
+    def test_unreachable_is_infinite(self):
+        dg = DiGraph()
+        dg.add_vertex("r")
+        dg.add_vertex("t")
+        assert min_directed_steiner_reachability_cost(
+            dg, "r", ["t"]) == float("inf")

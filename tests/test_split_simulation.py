@@ -1,0 +1,120 @@
+"""Lemma 2.2's distributed simulation (the 2×-round split host) and the
+item-1 negation PLS."""
+
+import random
+
+import pytest
+
+from repro.congest.algorithms.basic import BfsFromRoot, FloodMinId
+from repro.congest.algorithms.split_simulation import run_split_simulation
+from repro.congest.model import CongestSimulator
+from repro.core.reductions import directed_to_undirected_hc
+from repro.graphs import DiGraph
+from repro.pls import ConnectedSpanningSubgraphPls, NotConnectedSpanningSubgraphPls
+from repro.pls.scheme import (
+    PlsInstance,
+    check_completeness,
+    check_soundness_samples,
+    edge_key,
+)
+from repro.graphs import cycle_graph
+
+
+def weakly_connected_digraph(n, p, rng):
+    while True:
+        dg = DiGraph()
+        for v in range(n):
+            dg.add_vertex(v)
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < p:
+                    dg.add_edge(u, v)
+        if dg.to_undirected().is_connected():
+            return dg
+
+
+class TestSplitSimulation:
+    def test_leader_election_agrees(self, rng):
+        dg = weakly_connected_digraph(6, 0.4, rng)
+        outputs, sim = run_split_simulation(dg, FloodMinId)
+        gprime = directed_to_undirected_hc(dg)
+        direct = CongestSimulator(gprime)
+        direct_out = direct.run(FloodMinId)
+        want = set(direct_out.values())
+        got = {o for out in outputs.values() for o in out.values()}
+        assert got == want
+
+    def test_two_x_round_overhead(self, rng):
+        dg = weakly_connected_digraph(6, 0.4, rng)
+        __, sim = run_split_simulation(dg, FloodMinId)
+        gprime = directed_to_undirected_hc(dg)
+        direct = CongestSimulator(gprime)
+        direct.run(FloodMinId)
+        assert sim.rounds <= 2 * direct.rounds + 4
+
+    def test_bfs_depths_transfer(self, rng):
+        dg = weakly_connected_digraph(5, 0.5, rng)
+        gprime = directed_to_undirected_hc(dg)
+        probe = CongestSimulator(gprime)
+        root_uid = 0
+
+        outputs, sim = run_split_simulation(
+            dg, lambda: _BfsWithInput(root_uid))
+        direct = CongestSimulator(gprime)
+        direct_out = direct.run(
+            BfsFromRoot, inputs={v: root_uid for v in gprime.vertices()})
+        for v, out in outputs.items():
+            for tag in ("in", "mid", "out"):
+                assert out[tag][1] == direct_out[(tag, v)][1]
+
+    def test_every_copy_reports(self, rng):
+        dg = weakly_connected_digraph(5, 0.4, rng)
+        outputs, __ = run_split_simulation(dg, FloodMinId)
+        for out in outputs.values():
+            assert set(out) == {"in", "mid", "out"}
+
+
+class _BfsWithInput(BfsFromRoot):
+    """BfsFromRoot reads the root from ctx.input; the split host passes
+    wiring there, so bake the root in instead."""
+
+    def __init__(self, root_uid: int) -> None:
+        super().__init__()
+        self.root_uid = root_uid
+
+    def on_start(self, ctx):
+        ctx.input = self.root_uid
+        return super().on_start(ctx)
+
+    def on_round(self, ctx, messages):
+        ctx.input = self.root_uid
+        return super().on_round(ctx, messages)
+
+
+class TestNotConnectedSpanningSubgraphPls:
+    def test_isolated_vertex_case(self, rng):
+        g = cycle_graph(6)
+        inst = PlsInstance(graph=g, subgraph=frozenset(
+            [edge_key(0, 1), edge_key(1, 2)]))
+        check_completeness(NotConnectedSpanningSubgraphPls(), inst)
+
+    def test_disconnected_case(self, rng):
+        g = cycle_graph(6)
+        inst = PlsInstance(graph=g, subgraph=frozenset(
+            [edge_key(0, 1), edge_key(1, 2), edge_key(3, 4), edge_key(4, 5)]))
+        check_completeness(NotConnectedSpanningSubgraphPls(), inst)
+
+    def test_soundness_on_spanning_connected(self, rng):
+        g = cycle_graph(6)
+        full = PlsInstance(graph=g, subgraph=frozenset(
+            edge_key(u, v) for u, v in g.edges()))
+        donors = [
+            PlsInstance(graph=g, subgraph=frozenset(
+                [edge_key(0, 1), edge_key(1, 2)])),
+            PlsInstance(graph=g, subgraph=frozenset(
+                [edge_key(0, 1), edge_key(1, 2), edge_key(3, 4),
+                 edge_key(4, 5)])),
+        ]
+        check_soundness_samples(NotConnectedSpanningSubgraphPls(), full,
+                                rng, donor_instances=donors)
+        check_completeness(ConnectedSpanningSubgraphPls(), full)

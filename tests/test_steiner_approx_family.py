@@ -1,0 +1,92 @@
+"""Section 4.4 Steiner approximation family tests (Theorems 4.6-4.7)."""
+
+import pytest
+
+from repro.cc.functions import (
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.core.family import validate_family, verify_iff
+from repro.core.kmds import A_SPECIAL, R_SPECIAL, avert, bvert, scomp, svert
+from repro.core.steiner_approx import DirectedSteinerFamily, NodeWeightedSteinerFamily
+from repro.covering.designs import build_covering_collection
+from repro.solvers.steiner import min_directed_steiner_reachability_cost
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return build_covering_collection(universe_size=16, T=6, r=2, seed=0)
+
+
+class TestNodeWeighted:
+    @pytest.fixture(scope="class")
+    def fam(self, collection):
+        return NodeWeightedSteinerFamily(collection)
+
+    def test_terminals_free(self, fam, rng):
+        g = fam.build(*random_input_pairs(fam.k_bits, 1, rng)[0])
+        for t in fam.terminals():
+            assert g.vertex_weight(t) == 0
+
+    def test_definition_1_1(self, fam):
+        validate_family(fam)
+
+    def test_iff_sweep(self, fam, rng):
+        report = verify_iff(fam, random_input_pairs(fam.k_bits, 6, rng),
+                            negate=True)
+        assert report.true_instances and report.false_instances
+
+    def test_lemma_45_gap(self, fam, rng):
+        x, y = random_intersecting_pair(fam.k_bits, rng)
+        assert fam.optimum(fam.build(x, y)) == 2
+        x, y = random_disjoint_pair(fam.k_bits, rng)
+        assert fam.optimum(fam.build(x, y)) > fam.collection.r
+
+
+class TestDirected:
+    @pytest.fixture(scope="class")
+    def fam(self, collection):
+        return DirectedSteinerFamily(collection)
+
+    def test_edge_weights(self, fam):
+        g = fam.fixed_graph()
+        assert g.edge_weight(R_SPECIAL, A_SPECIAL) == 0
+        assert g.edge_weight(A_SPECIAL, svert(0)) == 1
+        assert g.edge_weight(A_SPECIAL, avert(0)) == fam.alpha
+
+    def test_input_toggles_set_edges(self, fam, rng):
+        x = tuple(1 if i == 0 else 0 for i in range(fam.k_bits))
+        y = tuple([0] * fam.k_bits)
+        g = fam.build(x, y)
+        cc = fam.collection
+        j_in = next(iter(cc.sets[0]))
+        assert g.has_edge(svert(0), avert(j_in))
+        # a zero bit leaves the set vertex dangling
+        if fam.k_bits > 1:
+            j1 = next(iter(cc.sets[1]))
+            assert not g.has_edge(svert(1), avert(j1))
+
+    def test_definition_1_1(self, fam):
+        validate_family(fam)
+
+    def test_iff_sweep(self, fam, rng):
+        report = verify_iff(fam, random_input_pairs(fam.k_bits, 6, rng),
+                            negate=True)
+        assert report.true_instances and report.false_instances
+
+    def test_lemma_46_gap(self, fam, rng):
+        x, y = random_intersecting_pair(fam.k_bits, rng)
+        assert fam.optimum(fam.build(x, y)) == 2
+        x, y = random_disjoint_pair(fam.k_bits, rng)
+        assert fam.optimum(fam.build(x, y)) > fam.collection.r
+
+    def test_structured_matches_generic(self, rng):
+        """Cross-validate the set-cover optimum against brute-force
+        reachability enumeration on a tiny collection."""
+        small = build_covering_collection(universe_size=5, T=3, r=1, seed=2)
+        fam = DirectedSteinerFamily(small)
+        for x, y in random_input_pairs(3, 4, rng):
+            g = fam.build(x, y)
+            assert fam.optimum(g) == min_directed_steiner_reachability_cost(
+                g, R_SPECIAL, fam.terminals())

@@ -1,0 +1,95 @@
+"""Theorem 2.7 Steiner family tests (Claim 2.8) and Theorem 2.6 checks."""
+
+import pytest
+
+from repro.cc.functions import (
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.core.family import validate_family, verify_iff
+from repro.core.mds import fvert, tvert
+from repro.core.steiner import SteinerTreeFamily, copy_of
+from repro.solvers import is_steiner_tree
+
+
+@pytest.fixture(scope="module")
+def fam():
+    return SteinerTreeFamily(4)
+
+
+class TestConstruction:
+    def test_doubles_vertices(self, fam):
+        base_n = fam.mds.fixed_graph().n
+        assert fam.n_vertices() == 2 * base_n
+
+    def test_identity_edges(self, fam):
+        g = fam.build((0,) * 16, (0,) * 16)
+        for v in fam.mds.fixed_graph().vertices():
+            assert g.has_edge(copy_of(v), v)
+
+    def test_original_edges_rewired(self, fam):
+        base = fam.mds.fixed_graph()
+        g = fam.build((0,) * 16, (0,) * 16)
+        u, v = base.edges()[0]
+        assert g.has_edge(copy_of(u), v)
+        assert g.has_edge(copy_of(v), u)
+        assert not g.has_edge(u, v)  # originals form an independent set
+
+    def test_terminals_independent(self, fam):
+        g = fam.build((1,) * 16, (1,) * 16)
+        terms = set(fam.terminals())
+        for u, v in g.edges():
+            assert not (u in terms and v in terms)
+
+    def test_cliques(self, fam):
+        g = fam.build((0,) * 16, (0,) * 16)
+        va = list(fam.mds.alice_vertices())
+        assert g.has_edge(copy_of(va[0]), copy_of(va[1]))
+
+    def test_exactly_two_crossing_edges(self, fam):
+        g = fam.build((0,) * 16, (0,) * 16)
+        va = fam.mds.alice_vertices()
+        crossing = [(u, v) for u, v in g.edges()
+                    if isinstance(u, tuple) and u[0] == "copy"
+                    and isinstance(v, tuple) and v[0] == "copy"
+                    and ((u[1] in va) != (v[1] in va))]
+        assert len(crossing) == 2
+
+    def test_definition_1_1(self, fam):
+        validate_family(fam)
+
+    def test_cut_logarithmic(self, fam):
+        # 2 edges per original cut edge + 2 crossing edges
+        assert len(fam.cut_edges()) == 2 * len(fam.mds.cut_edges()) + 2
+
+
+class TestClaim28:
+    def test_iff_sweep(self, fam, rng):
+        pairs = random_input_pairs(16, 4, rng)
+        report = verify_iff(fam, pairs, negate=True)
+        assert report.true_instances and report.false_instances
+
+    def test_witness_tree(self, fam, rng):
+        x, y = random_intersecting_pair(16, rng)
+        edges = fam.witness_steiner_tree(x, y)
+        assert len(edges) == fam.target_edges
+        assert is_steiner_tree(fam.build(x, y), edges, fam.terminals())
+
+    def test_disjoint_needs_more(self, fam, rng):
+        x, y = random_disjoint_pair(16, rng)
+        size = fam.min_steiner_size(fam.build(x, y))
+        assert size > fam.target_edges
+
+    def test_min_size_tracks_domination(self, fam, rng):
+        """min Steiner = |Term| − 1 + min constrained domination."""
+        x, y = random_intersecting_pair(16, rng)
+        g = fam.build(x, y)
+        size = fam.min_steiner_size(g)
+        # intersecting inputs: the MDS family optimum is 4 log k + 2 and
+        # the witness uses a crossing pair, so the bound is tight
+        assert size == len(fam.terminals()) - 1 + 4 * fam.log_k + 2
+
+    def test_target_formula(self):
+        fam8 = SteinerTreeFamily(8)
+        assert fam8.target_edges == 4 * 8 + 16 * 3 + 1
