@@ -20,6 +20,8 @@ from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.congest.model import CongestSimulator, NodeAlgorithm
 from repro.graphs import Graph, Vertex
+from repro.obs.metrics import CutBitCounter
+from repro.obs.trace import MultiTracer, Tracer
 
 
 @dataclass
@@ -32,6 +34,9 @@ class TwoPartySimulation:
     ecut_size: int
     bandwidth: int
     outputs: Dict[Vertex, Any] = field(repr=False, default_factory=dict)
+    #: bits crossing the cut in each round (round 0 = ``on_start``),
+    #: from the trace-level :class:`repro.obs.metrics.CutBitCounter`.
+    cut_bits_by_round: Dict[int, int] = field(repr=False, default_factory=dict)
 
     @property
     def bits_budget(self) -> int:
@@ -50,12 +55,20 @@ def simulate_two_party(
     inputs: Optional[Dict[Vertex, Any]] = None,
     bandwidth_factor: int = 8,
     max_rounds: int = 100000,
+    tracer: Optional[Tracer] = None,
 ) -> TwoPartySimulation:
     """Run ``algorithm_factory`` on ``graph``, charging only cut traffic.
 
     ``va`` is Alice's vertex set; everything else is Bob's.  Messages
     within a side are free (each player simulates its side locally);
     messages across the cut are the protocol's communication.
+
+    The cut bits are counted twice, independently: once by the legacy
+    per-message ``observer`` callback and once by a trace-level
+    :class:`CutBitCounter`.  The two totals are asserted equal, so the
+    Theorem 1.1 accounting is cross-checked on every simulation.  An
+    extra ``tracer`` (e.g. a ``JsonlTracer``) receives the full event
+    stream alongside the counter.
     """
     va_set: Set[Vertex] = set(va)
     vb_set = set(graph.vertices()) - va_set
@@ -64,7 +77,14 @@ def simulate_two_party(
     ecut = [(u, v) for u, v in graph.edges()
             if (u in va_set) != (v in va_set)]
 
-    sim = CongestSimulator(graph, bandwidth_factor=bandwidth_factor)
+    sim = CongestSimulator(graph, bandwidth_factor=bandwidth_factor,
+                           tracer=tracer)
+    alice_uids = {sim.uid_of[v] for v in va_set}
+    cut_counter = CutBitCounter(alice_uids)
+    # layer the cut counter on top of whatever tracer was resolved
+    # (explicit argument or the ambient trace_to_directory tracer)
+    sinks = [cut_counter] + ([sim.tracer] if sim.tracer is not None else [])
+    sim.tracer = MultiTracer(sinks)
     side_of_uid = {sim.uid_of[v]: (v in va_set) for v in graph.vertices()}
     counter = {"bits": 0, "messages": 0}
 
@@ -75,6 +95,12 @@ def simulate_two_party(
 
     sim.observer = observer
     outputs = sim.run(algorithm_factory, inputs=inputs, max_rounds=max_rounds)
+    if (counter["bits"], counter["messages"]) != (
+            cut_counter.cut_bits, cut_counter.cut_messages):
+        raise AssertionError(
+            "cut accounting mismatch: observer saw "
+            f"{counter['bits']} bits / {counter['messages']} messages, "
+            f"trace saw {cut_counter.cut_bits} / {cut_counter.cut_messages}")
     return TwoPartySimulation(
         rounds=sim.rounds,
         cut_bits=counter["bits"],
@@ -82,6 +108,7 @@ def simulate_two_party(
         ecut_size=len(ecut),
         bandwidth=sim.bandwidth,
         outputs=outputs,
+        cut_bits_by_round=dict(sorted(cut_counter.bits_by_round.items())),
     )
 
 

@@ -6,9 +6,12 @@ families              list every lower-bound family with its parameters
 describe FAMILY [-k]  build one family and print its Definition 1.1 data
 verify FAMILY [-k] [--pairs N]
                       machine-check the family's iff-lemma on N input pairs
-experiments [--full] [--only ID ...]
+experiments [--full] [--only ID ...] [--trace-dir DIR] [--profile]
                       run the per-theorem experiments and print the table
 paper                 print the theorem-by-theorem coverage index
+report TRACE [--cut UIDS] [--edges N]
+                      render a JSONL simulator trace (see repro.obs) into
+                      a round-by-round summary
 """
 
 from __future__ import annotations
@@ -109,11 +112,31 @@ def cmd_experiments(args: argparse.Namespace) -> None:
     from repro.experiments import format_markdown, run_all
 
     records = run_all(quick=not args.full,
-                      only=args.only if args.only else None)
+                      only=args.only if args.only else None,
+                      trace_dir=args.trace_dir,
+                      profile=args.profile)
     print(format_markdown(records))
     failed = [r.experiment_id for r in records if not r.passed]
     if failed:
         raise SystemExit(f"FAILED: {failed}")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs import read_trace, render_report
+
+    try:
+        events = read_trace(args.trace)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.trace!r}: {exc}")
+    if not events:
+        raise SystemExit(f"trace {args.trace!r} contains no events")
+    alice = None
+    if args.cut:
+        try:
+            alice = {int(u) for u in args.cut.split(",") if u.strip()}
+        except ValueError:
+            raise SystemExit("--cut expects comma-separated integer uids")
+    print(render_report(events, alice_uids=alice, top_edges=args.edges))
 
 
 def main(argv: Optional[list] = None) -> None:
@@ -138,8 +161,22 @@ def main(argv: Optional[list] = None) -> None:
     p = sub.add_parser("experiments", help="run the per-theorem experiments")
     p.add_argument("--full", action="store_true")
     p.add_argument("--only", nargs="*", default=None)
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write one JSONL simulator trace per CONGEST run")
+    p.add_argument("--profile", action="store_true",
+                   help="record exact-solver wall-clock/call-count profile "
+                        "in each record")
 
     sub.add_parser("paper", help="theorem-by-theorem coverage index")
+
+    p = sub.add_parser("report", help="render a JSONL simulator trace")
+    p.add_argument("trace", help="path to a trace written by JsonlTracer "
+                                 "or --trace-dir")
+    p.add_argument("--cut", default=None, metavar="UIDS",
+                   help="comma-separated Alice-side uids: adds Theorem 1.1 "
+                        "cut-bit accounting")
+    p.add_argument("--edges", type=int, default=5,
+                   help="how many busiest edges to list (default 5)")
 
     args = parser.parse_args(argv)
     {
@@ -148,6 +185,7 @@ def main(argv: Optional[list] = None) -> None:
         "verify": cmd_verify,
         "experiments": cmd_experiments,
         "paper": cmd_paper,
+        "report": cmd_report,
     }[args.command](args)
 
 

@@ -33,7 +33,8 @@ def message_bits(msg: Message) -> int:
     """Size accounting for messages.
 
     Integers cost their two's-complement width, booleans 1 bit, floats 64,
-    strings 8 bits per character, ``None`` 1 bit, and containers the sum of
+    strings and byte strings 8 bits per character/byte, ``None`` 1 bit,
+    and containers (tuples, lists, sets, frozensets, dicts) the sum of
     their items plus 2 bits of framing per item.  This deliberately
     over-counts a little; the paper's bounds are asymptotic and the
     simulator only needs a consistent, conservative measure.
@@ -48,11 +49,13 @@ def message_bits(msg: Message) -> int:
         return 64
     if isinstance(msg, str):
         return 8 * len(msg)
+    if isinstance(msg, (bytes, bytearray)):
+        return 8 * len(msg)
     if isinstance(msg, (tuple, list)):
         return sum(message_bits(x) + 2 for x in msg)
     if isinstance(msg, dict):
         return sum(message_bits(k) + message_bits(v) + 4 for k, v in msg.items())
-    if isinstance(msg, frozenset):
+    if isinstance(msg, (set, frozenset)):
         return sum(message_bits(x) + 2 for x in msg)
     raise TypeError(f"unsupported message type {type(msg)!r}")
 
@@ -111,17 +114,29 @@ class NodeAlgorithm:
 
 
 class CongestSimulator:
-    """Run a :class:`NodeAlgorithm` over a graph, enforcing bandwidth."""
+    """Run a :class:`NodeAlgorithm` over a graph, enforcing bandwidth.
+
+    The counters (``rounds``, ``total_messages``, ``total_bits``,
+    ``max_message_bits``) are **per run**: :meth:`run` resets them on
+    entry, so a reused simulator reports statistics for its latest run
+    only.  Pass ``tracer=`` (see :mod:`repro.obs.trace`) to capture the
+    full structured event stream; the legacy ``observer`` callback is
+    kept working as an adapter layered on the same stream.
+    """
 
     def __init__(
         self,
         graph: Union[Graph, DiGraph],
         bandwidth: Optional[float] = None,
         bandwidth_factor: int = 8,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         """``bandwidth=None`` selects the standard CONGEST
         ``bandwidth_factor·log2 n`` bits; ``math.inf`` gives the LOCAL
-        model (no bound, sizes still accounted)."""
+        model (no bound, sizes still accounted).  ``tracer=None``
+        consults the ambient :func:`repro.obs.trace.default_tracer`
+        (active inside ``trace_to_directory`` regions); pass
+        ``NullTracer()`` to force tracing off."""
         self.graph = graph
         base = graph.to_undirected() if isinstance(graph, DiGraph) else graph
         self._base = base
@@ -135,9 +150,39 @@ class CongestSimulator:
         self.total_messages = 0
         self.total_bits = 0
         self.max_message_bits = 0
+        if tracer is None:
+            from repro.obs.trace import default_tracer
+            tracer = default_tracer()
+        self.tracer = tracer
+        #: the active event sink during :meth:`run` (tracer + observer
+        #: adapter), or ``None`` when tracing is fully disabled.
+        self._sink: Optional["Tracer"] = None
         #: optional callback ``(sender uid, receiver uid, bits)`` invoked on
         #: every message; used by the Theorem 1.1 two-party simulation.
+        #: Internally implemented as an :class:`ObserverTracer` riding the
+        #: event stream.
         self.observer: Optional[Callable[[int, int, int], None]] = None
+
+    def _compose_sink(self) -> Optional["Tracer"]:
+        """Combine the explicit tracer and the legacy observer into one
+        sink; ``None`` when neither wants events (the hot path then skips
+        event construction entirely)."""
+        sinks = []
+        if self.tracer is not None and getattr(self.tracer, "enabled", True):
+            sinks.append(self.tracer)
+        if self.observer is not None:
+            from repro.obs.trace import ObserverTracer
+            sinks.append(ObserverTracer(self.observer))
+        if not sinks:
+            return None
+        if len(sinks) == 1:
+            return sinks[0]
+        from repro.obs.trace import MultiTracer
+        return MultiTracer(sinks)
+
+    def _emit(self, kind: str, **data: Any) -> None:
+        from repro.obs.trace import TraceEvent
+        self._sink.emit(TraceEvent(kind, self.rounds, data))
 
     def run(
         self,
@@ -145,7 +190,15 @@ class CongestSimulator:
         inputs: Optional[Dict[Vertex, Any]] = None,
         max_rounds: int = 100000,
     ) -> Dict[Vertex, Any]:
-        """Execute until every vertex halts; return outputs by label."""
+        """Execute until every vertex halts; return outputs by label.
+
+        Counters are reset on entry, so ``sim.rounds`` etc. always
+        describe the most recent run.
+        """
+        self.rounds = 0
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_message_bits = 0
         inputs = inputs or {}
         base = self._base
         contexts: Dict[int, NodeContext] = {}
@@ -160,31 +213,65 @@ class CongestSimulator:
                 weights, base.vertex_weight(label))
             algos[uid] = algorithm_factory()
 
-        # round 0: on_start
-        outbox: Dict[int, Dict[int, Message]] = {}
-        for uid, ctx in contexts.items():
-            outbox[uid] = self._check(algos[uid].on_start(ctx), ctx)
-
-        while not all(ctx.halted for ctx in contexts.values()):
-            if self.rounds >= max_rounds:
-                raise RuntimeError(f"exceeded {max_rounds} rounds")
-            self.rounds += 1
-            inbox: Dict[int, Dict[int, Message]] = {uid: {} for uid in contexts}
-            for sender, msgs in outbox.items():
-                for receiver, msg in msgs.items():
-                    inbox[receiver][sender] = msg
-            outbox = {}
+        self._sink = sink = self._compose_sink()
+        if sink is not None:
+            algo_name = type(next(iter(algos.values()))).__name__ \
+                if algos else "?"
+            self._emit("run_start", n=self.n, edges=base.m,
+                       bandwidth=self.bandwidth, algorithm=algo_name)
+        try:
+            # round 0: on_start
+            outbox: Dict[int, Dict[int, Message]] = {}
             for uid, ctx in contexts.items():
-                if ctx.halted:
-                    outbox[uid] = {}
-                    continue
-                outbox[uid] = self._check(
-                    algos[uid].on_round(ctx, inbox[uid]), ctx)
+                outbox[uid] = self._check(algos[uid].on_start(ctx), ctx)
+                if sink is not None and ctx.halted:
+                    self._emit("halt", uid=uid)
+
+            halted_total = sum(1 for ctx in contexts.values() if ctx.halted)
+            while not all(ctx.halted for ctx in contexts.values()):
+                if self.rounds >= max_rounds:
+                    raise RuntimeError(f"exceeded {max_rounds} rounds")
+                self.rounds += 1
+                if sink is not None:
+                    self._emit("round_start",
+                               active=len(contexts) - halted_total)
+                    msgs_before = self.total_messages
+                    bits_before = self.total_bits
+                inbox: Dict[int, Dict[int, Message]] = {uid: {} for uid in contexts}
+                for sender, msgs in outbox.items():
+                    for receiver, msg in msgs.items():
+                        inbox[receiver][sender] = msg
+                outbox = {}
+                for uid, ctx in contexts.items():
+                    if ctx.halted:
+                        outbox[uid] = {}
+                        continue
+                    outbox[uid] = self._check(
+                        algos[uid].on_round(ctx, inbox[uid]), ctx)
+                    if ctx.halted:
+                        halted_total += 1
+                        if sink is not None:
+                            self._emit("halt", uid=uid)
+                if sink is not None:
+                    self._emit("round_end",
+                               messages=self.total_messages - msgs_before,
+                               bits=self.total_bits - bits_before,
+                               halted=halted_total)
+            if sink is not None:
+                self._emit("run_end", rounds=self.rounds,
+                           total_messages=self.total_messages,
+                           total_bits=self.total_bits,
+                           max_message_bits=self.max_message_bits)
+        finally:
+            if sink is not None:
+                sink.flush()
+            self._sink = None
         return {ctx.label: ctx.output for ctx in contexts.values()}
 
     def _check(self, msgs: Dict[int, Message], ctx: NodeContext) -> Dict[int, Message]:
         # A vertex may halt and still deliver the messages it returned in
         # the same round; it is only skipped from the next round onwards.
+        sink = self._sink
         for receiver, msg in msgs.items():
             if receiver not in ctx.neighbors:
                 raise ValueError(
@@ -193,9 +280,11 @@ class CongestSimulator:
             self.total_messages += 1
             self.total_bits += bits
             self.max_message_bits = max(self.max_message_bits, bits)
-            if self.observer is not None:
-                self.observer(ctx.uid, receiver, bits)
-            if self.bandwidth is not None and bits > self.bandwidth:
+            ok = self.bandwidth is None or bits <= self.bandwidth
+            if sink is not None:
+                self._emit("message", sender=ctx.uid, receiver=receiver,
+                           bits=bits, ok=ok)
+            if not ok:
                 raise BandwidthExceeded(
                     f"{bits}-bit message exceeds bandwidth {self.bandwidth}")
         return dict(msgs)

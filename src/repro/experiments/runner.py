@@ -1,7 +1,15 @@
-"""Experiment registry and reporting."""
+"""Experiment registry and reporting.
+
+Observability hooks: ``run_experiment(..., trace_dir=...)`` makes every
+CONGEST simulator constructed inside the experiment stream its events to
+``trace_dir/<experiment id>-NNNN.jsonl`` (render them with ``repro
+report``), and ``profile=True`` surfaces the exact-solver wall-clock /
+call-count profile through ``ExperimentRecord.measured["solver_profile"]``.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -36,14 +44,35 @@ def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
     return register
 
 
-def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentRecord:
-    return EXPERIMENTS[experiment_id](quick=quick)
+def run_experiment(experiment_id: str, quick: bool = True,
+                   trace_dir: Optional[str] = None,
+                   profile: bool = False) -> ExperimentRecord:
+    fn = EXPERIMENTS[experiment_id]
+    if trace_dir is None and not profile:
+        return fn(quick=quick)
+
+    from repro.obs.profile import diff_profile, format_profile, profile_stats
+    from repro.obs.trace import trace_to_directory
+
+    before = profile_stats() if profile else {}
+    if trace_dir is not None:
+        with trace_to_directory(os.fspath(trace_dir), prefix=experiment_id):
+            record = fn(quick=quick)
+    else:
+        record = fn(quick=quick)
+    if profile:
+        delta = diff_profile(before, profile_stats())
+        record.measured["solver_profile"] = format_profile(delta) or "(none)"
+    return record
 
 
 def run_all(quick: bool = True,
-            only: Optional[List[str]] = None) -> List[ExperimentRecord]:
+            only: Optional[List[str]] = None,
+            trace_dir: Optional[str] = None,
+            profile: bool = False) -> List[ExperimentRecord]:
     ids = only if only is not None else sorted(EXPERIMENTS)
-    return [run_experiment(eid, quick=quick) for eid in ids]
+    return [run_experiment(eid, quick=quick, trace_dir=trace_dir,
+                           profile=profile) for eid in ids]
 
 
 def format_markdown(records: List[ExperimentRecord]) -> str:

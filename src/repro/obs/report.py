@@ -1,0 +1,88 @@
+"""Render a simulator trace into a round-by-round summary.
+
+Consumed by the ``repro report`` CLI subcommand; also usable directly::
+
+    from repro.obs import read_trace, render_report
+    print(render_report(read_trace("trace-0001.jsonl")))
+
+The output is GitHub-flavoured markdown (which doubles as an ASCII
+table in a terminal): a header with the run parameters, a per-round
+table, and the busiest directed edges.  Pass ``alice_uids`` to add the
+Theorem 1.1 cut-bit column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.obs.metrics import CutBitCounter, Metrics, cut_bits_from_events
+from repro.obs.trace import TraceEvent, read_trace
+
+__all__ = ["render_report", "read_trace"]
+
+
+def _fmt_util(value: Optional[float]) -> str:
+    return "—" if value is None else f"{100.0 * value:.1f}%"
+
+
+def render_report(events: Sequence[TraceEvent],
+                  alice_uids: Optional[Iterable[int]] = None,
+                  top_edges: int = 5) -> str:
+    """Markdown/ASCII summary of one trace (see module docstring)."""
+    metrics = Metrics.from_events(events)
+    cut: Optional[CutBitCounter] = None
+    if alice_uids is not None:
+        cut = cut_bits_from_events(events, alice_uids)
+
+    lines: List[str] = ["# CONGEST trace report", ""]
+    summary = metrics.summary()
+    n_runs = sum(1 for e in events if e.kind == "run_start")
+    if n_runs > 1:
+        lines.append(f"- **note**: trace contains {n_runs} runs; the "
+                     "tables below aggregate all of them")
+    lines.append(f"- algorithm: `{summary['algorithm'] or '?'}`")
+    lines.append(f"- n = {summary['n']}, m = {summary['edges']}, "
+                 f"bandwidth = {summary['bandwidth']} bits/edge/round")
+    lines.append(f"- rounds = {summary['rounds']}, "
+                 f"messages = {summary['total_messages']}, "
+                 f"bits = {summary['total_bits']}")
+    mean_util = summary["mean_round_utilization"]
+    if mean_util is not None:
+        lines.append(f"- mean bandwidth utilization = {_fmt_util(mean_util)}")
+    if cut is not None:
+        lines.append(f"- cut bits = {cut.cut_bits} "
+                     f"({cut.cut_messages} cut messages, "
+                     f"|Alice| = {len(cut.alice)})")
+    lines.append("")
+
+    header = "| round | active | msgs | bits | cum bits | util |"
+    rule = "|---|---|---|---|---|---|"
+    if cut is not None:
+        header += " cut bits |"
+        rule += "---|"
+    lines.extend(["## Rounds", "", header, rule])
+    cumulative = 0
+    for rnd in metrics.round_numbers():
+        rs = metrics.per_round[rnd]
+        cumulative += rs.bits
+        active = "—" if rs.active is None else str(rs.active)
+        row = (f"| {rnd} | {active} | {rs.messages} | {rs.bits} "
+               f"| {cumulative} | {_fmt_util(metrics.round_utilization(rnd))} |")
+        if cut is not None:
+            row += f" {cut.bits_by_round.get(rnd, 0)} |"
+        lines.append(row)
+    lines.append("")
+
+    busiest = metrics.busiest_edges(top_edges)
+    if busiest:
+        lines.extend([
+            "## Busiest directed edges", "",
+            "| edge (uid → uid) | msgs | bits | peak round bits | peak util |",
+            "|---|---|---|---|---|",
+        ])
+        for es in busiest:
+            util = _fmt_util(metrics.edge_utilization(es.edge))
+            lines.append(f"| {es.edge[0]} → {es.edge[1]} | {es.messages} "
+                         f"| {es.bits} | {es.peak_round_bits} | {util} |")
+        lines.append("")
+    return "\n".join(lines)

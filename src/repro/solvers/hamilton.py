@@ -16,6 +16,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.graphs import DiGraph, Graph, Vertex
+from repro.obs.profile import profiled
 
 AnyGraph = Union[Graph, DiGraph]
 
@@ -180,6 +181,7 @@ class _HamSolver:
         return True
 
 
+@profiled
 def find_hamiltonian_path(
     graph: AnyGraph,
     source: Optional[Vertex] = None,
@@ -210,6 +212,7 @@ def find_hamiltonian_path(
     return [solver.vertices[i] for i in result]
 
 
+@profiled
 def find_hamiltonian_cycle(graph: AnyGraph) -> Optional[List[Vertex]]:
     """Find a Hamiltonian cycle (returned without repeating the start)."""
     dg = _as_digraph(graph)
@@ -231,6 +234,7 @@ def has_hamiltonian_cycle(graph: AnyGraph) -> bool:
     return find_hamiltonian_cycle(graph) is not None
 
 
+@profiled
 def held_karp_has_path(graph: AnyGraph) -> bool:
     """O(2^n n^2) dynamic program; independent cross-check for n ≤ 18."""
     dg = _as_digraph(graph)

@@ -12,8 +12,10 @@ from __future__ import annotations
 from typing import List, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
+from repro.obs.profile import profiled
 
 
+@profiled
 def max_matching(graph: Graph) -> List[Tuple[Vertex, Vertex]]:
     """A maximum cardinality matching."""
     import networkx as nx
@@ -44,6 +46,7 @@ def tutte_berge_value(graph: Graph, witness: Sequence[Vertex]) -> int:
     return (n + len(u_set) - _odd_components(graph, u_set)) // 2
 
 
+@profiled
 def tutte_berge_witness(graph: Graph) -> List[Vertex]:
     """A set U achieving equality in the Tutte–Berge formula.
 

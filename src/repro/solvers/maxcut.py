@@ -12,6 +12,7 @@ from typing import List, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
 from repro.solvers._bitmask import BitGraph
+from repro.obs.profile import profiled
 
 
 def cut_weight(graph: Graph, side: Sequence[Vertex]) -> float:
@@ -50,6 +51,7 @@ def max_cut_vectorized(graph: Graph, limit: int = 25) -> Tuple[float, List[Verte
     return best, side
 
 
+@profiled
 def max_cut(graph: Graph, limit: int = 28) -> Tuple[float, List[Vertex]]:
     """Return ``(weight, side)`` of a maximum weight cut.
 

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
 from repro.solvers._bitmask import BitGraph, iter_bits, lowest_bit, popcount
+from repro.obs.profile import profiled
 
 
 def is_independent_set(graph: Graph, vs: Sequence[Vertex]) -> bool:
@@ -163,6 +164,7 @@ class _MisSolver:
         return comps
 
 
+@profiled
 def max_independent_set(graph: Graph, weighted: bool = False) -> List[Vertex]:
     """Return a maximum (weight) independent set of ``graph``.
 

@@ -47,6 +47,17 @@ class TestMessageBits:
         with pytest.raises(TypeError):
             message_bits(object())
 
+    def test_set_matches_frozenset(self):
+        # regression: plain sets used to raise TypeError
+        assert message_bits({1, 2}) == message_bits(frozenset({1, 2}))
+        assert message_bits(set()) == 0
+
+    def test_bytes(self):
+        # regression: bytes/bytearray used to raise TypeError
+        assert message_bits(b"ab") == 16
+        assert message_bits(bytearray(b"abc")) == 24
+        assert message_bits(b"") == 0
+
 
 class TestSimulator:
     def test_bandwidth_default(self):
@@ -103,6 +114,29 @@ class TestSimulator:
         sim = CongestSimulator(path_graph(3))
         with pytest.raises(RuntimeError):
             sim.run(Forever, max_rounds=10)
+
+    def test_counters_reset_between_runs(self):
+        # a reused simulator reports per-run stats, not accumulated ones
+        class Wait2(NodeAlgorithm):
+            def __init__(self):
+                self.r = 0
+
+            def on_start(self, ctx):
+                return {w: 1 for w in ctx.neighbors}
+
+            def on_round(self, ctx, messages):
+                self.r += 1
+                if self.r == 2:
+                    ctx.halt()
+                return {}
+
+        sim = CongestSimulator(path_graph(3))
+        sim.run(Wait2)
+        first = (sim.rounds, sim.total_messages, sim.total_bits,
+                 sim.max_message_bits)
+        sim.run(Wait2)
+        assert (sim.rounds, sim.total_messages, sim.total_bits,
+                sim.max_message_bits) == first
 
 
 class TestLeaderAndBfs:
