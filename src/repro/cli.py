@@ -110,11 +110,19 @@ def cmd_paper(args: argparse.Namespace) -> None:
 
 def cmd_experiments(args: argparse.Namespace) -> None:
     from repro.experiments import format_markdown, run_all
+    from repro.solvers.cache import configure as configure_cache, default_cache_dir
 
+    cache_dir = args.cache_dir
+    if cache_dir == "DEFAULT":
+        cache_dir = default_cache_dir()
+    configure_cache(enabled=not args.no_cache, cache_dir=cache_dir)
     records = run_all(quick=not args.full,
                       only=args.only if args.only else None,
                       trace_dir=args.trace_dir,
-                      profile=args.profile)
+                      profile=args.profile,
+                      jobs=args.jobs,
+                      timeout=args.timeout,
+                      retries=args.retries)
     print(format_markdown(records))
     failed = [r.experiment_id for r in records if not r.passed]
     if failed:
@@ -165,7 +173,23 @@ def main(argv: Optional[list] = None) -> None:
                    help="write one JSONL simulator trace per CONGEST run")
     p.add_argument("--profile", action="store_true",
                    help="record exact-solver wall-clock/call-count profile "
-                        "in each record")
+                        "(and cache hit/miss counters) in each record")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run experiments over N worker processes "
+                        "(default 1 = serial; output order is identical)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-experiment wall-clock timeout in seconds "
+                        "(parallel runs; an expired experiment FAILs "
+                        "instead of stalling the batch)")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="bounded retries for experiments whose worker "
+                        "process died (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the exact-solver memoization cache")
+    p.add_argument("--cache-dir", nargs="?", const="DEFAULT", default=None,
+                   metavar="DIR",
+                   help="persist solver results to DIR (bare --cache-dir "
+                        "uses ~/.cache/repro); default is memory-only")
 
     sub.add_parser("paper", help="theorem-by-theorem coverage index")
 

@@ -4,12 +4,16 @@ Design notes
 ------------
 - Vertices are identified by their graph labels.  CONGEST assumes
   O(log n)-bit identifiers; the simulator assigns each label an integer id
-  in ``0..n-1`` and exposes both.
+  in ``0..n-1`` and exposes both.  Uids follow the canonical label order
+  of :func:`repro.graphs.label_sort_key` — ``(type name, repr)`` — so for
+  integer labels the order is *repr order* (``10`` before ``2``), not
+  numeric order.
 - A round proceeds in lockstep: every awake vertex sees the messages
   delivered on its incident edges, updates state, and emits messages for
   the next round.  Message size is measured by :func:`message_bits` and
-  checked against the bandwidth (``None`` disables the check, yielding the
-  LOCAL model).
+  checked against the bandwidth.  ``bandwidth=None`` selects the standard
+  CONGEST ``Θ(log n)`` bound; ``bandwidth=math.inf`` is the LOCAL model —
+  no bound, message sizes still accounted.
 - Algorithms are written by subclassing :class:`NodeAlgorithm`.  One
   instance is created per vertex; the simulator owns scheduling and
   delivery only, so algorithms cannot cheat by sharing state.
@@ -20,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
-from repro.graphs import DiGraph, Graph, Vertex
+from repro.graphs import DiGraph, Graph, Vertex, label_sort_key
 
 Message = Any
 
@@ -140,7 +144,7 @@ class CongestSimulator:
         self.graph = graph
         base = graph.to_undirected() if isinstance(graph, DiGraph) else graph
         self._base = base
-        self.labels = sorted(base.vertices(), key=repr)
+        self.labels = sorted(base.vertices(), key=label_sort_key)
         self.uid_of = {v: i for i, v in enumerate(self.labels)}
         self.n = len(self.labels)
         if bandwidth is None:
@@ -280,7 +284,7 @@ class CongestSimulator:
             self.total_messages += 1
             self.total_bits += bits
             self.max_message_bits = max(self.max_message_bits, bits)
-            ok = self.bandwidth is None or bits <= self.bandwidth
+            ok = bits <= self.bandwidth
             if sink is not None:
                 self._emit("message", sender=ctx.uid, receiver=receiver,
                            bits=bits, ok=ok)

@@ -14,6 +14,11 @@ from repro.experiments.runner import (
     run_all,
     format_markdown,
 )
+from repro.experiments.parallel import (
+    records_equivalent,
+    run_parallel,
+    strip_wallclock,
+)
 import repro.experiments.exact  # noqa: F401  (registers experiments)
 import repro.experiments.bounded  # noqa: F401
 import repro.experiments.approx  # noqa: F401
@@ -26,5 +31,8 @@ __all__ = [
     "experiment",
     "run_experiment",
     "run_all",
+    "run_parallel",
+    "records_equivalent",
+    "strip_wallclock",
     "format_markdown",
 ]

@@ -16,6 +16,7 @@ Both intentionally stay small and dependency-free; conversion helpers to
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -25,6 +26,19 @@ Edge = Tuple[Vertex, Vertex]
 
 class GraphError(Exception):
     """Raised on structurally invalid graph operations."""
+
+
+def label_sort_key(v: Vertex) -> Tuple[str, str]:
+    """The canonical vertex ordering key: ``(type name, repr)``.
+
+    Every place that needs a total order over arbitrary hashable labels
+    (edge-weight keys, CONGEST uid assignment, content hashing) sorts by
+    this key.  The type name prefix keeps labels of different types from
+    colliding when their ``repr`` happens to coincide; within a type the
+    order is *repr order*, which for integers is lexicographic
+    (``repr(10) < repr(2)``), not numeric.
+    """
+    return (type(v).__name__, repr(v))
 
 
 class Graph:
@@ -98,8 +112,14 @@ class Graph:
     # ------------------------------------------------------------------
     @staticmethod
     def _key(u: Vertex, v: Vertex) -> Edge:
-        a, b = sorted((u, v), key=repr)
-        return (a, b)
+        ku, kv = label_sort_key(u), label_sort_key(v)
+        if ku == kv and u != v:
+            # Two distinct labels with identical type and repr would
+            # silently share one edge-weight key; refuse early.
+            raise GraphError(
+                f"label collision: distinct vertices {u!r} and {v!r} have "
+                f"identical sort key {ku}")
+        return (u, v) if ku <= kv else (v, u)
 
     def __contains__(self, v: Vertex) -> bool:
         return v in self._adj
@@ -119,10 +139,13 @@ class Graph:
         return list(self._adj)
 
     def edges(self) -> List[Edge]:
+        # neighbour sets iterate in hash order, which for str/tuple labels
+        # varies with PYTHONHASHSEED; sort so the edge list (and every
+        # construction built by iterating it) is process-independent
         seen = set()
         out = []
         for u, nbrs in self._adj.items():
-            for v in nbrs:
+            for v in sorted(nbrs, key=label_sort_key):
                 key = self._key(u, v)
                 if key not in seen:
                     seen.add(key)
@@ -165,6 +188,17 @@ class Graph:
     def total_edge_weight(self) -> float:
         return sum(self.edge_weight(u, v) for u, v in self.edges())
 
+    def content_hash(self) -> str:
+        """Canonical SHA-256 of the graph's full content.
+
+        Covers directedness, every vertex with its effective weight, and
+        every edge with its effective weight, all in :func:`label_sort_key`
+        order — so two graphs built in different insertion orders hash
+        identically iff they are the same weighted graph.  This is the
+        solver-cache key material (see :mod:`repro.solvers.cache`).
+        """
+        return _content_hash(self)
+
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
@@ -180,11 +214,15 @@ class Graph:
 
     def induced_subgraph(self, vs: Iterable[Vertex]) -> "Graph":
         keep = set(vs)
-        g = Graph()
         for v in keep:
             if v not in self._adj:
                 raise GraphError(f"vertex {v!r} not present")
-            g.add_vertex(v, weight=self._vertex_weight.get(v))
+        g = Graph()
+        # insert in the parent's (deterministic) vertex order, not in
+        # hash order of `keep`, so the subgraph is process-independent
+        for v in self.vertices():
+            if v in keep:
+                g.add_vertex(v, weight=self._vertex_weight.get(v))
         for u, v in self.edges():
             if u in keep and v in keep:
                 g.add_edge(u, v, weight=self._edge_weight.get(self._key(u, v)))
@@ -311,8 +349,9 @@ class DiGraph:
         return list(self._succ)
 
     def edges(self) -> Iterator[Edge]:
+        # sorted for the same process-independence as Graph.edges()
         for u, succ in self._succ.items():
-            for v in succ:
+            for v in sorted(succ, key=label_sort_key):
                 yield (u, v)
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
@@ -339,6 +378,11 @@ class DiGraph:
         if v not in self._succ:
             raise GraphError(f"vertex {v!r} not present")
         return self._vertex_weight.get(v, default)
+
+    def content_hash(self) -> str:
+        """Canonical SHA-256 of the digraph's content (see
+        :meth:`Graph.content_hash`; arc direction is part of the key)."""
+        return _content_hash(self)
 
     def copy(self) -> "DiGraph":
         g = DiGraph()
@@ -372,6 +416,35 @@ class DiGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DiGraph(n={self.n}, m={self.m})"
+
+
+def _content_hash(graph) -> str:
+    """Shared :meth:`Graph.content_hash` / :meth:`DiGraph.content_hash`
+    implementation: hash vertices and edges with their effective weights
+    in canonical label order, guarding against label-key collisions."""
+    h = hashlib.sha256()
+    h.update(b"digraph;" if graph.directed else b"graph;")
+    verts = sorted(graph.vertices(), key=label_sort_key)
+    for a, b in zip(verts, verts[1:]):
+        if a != b and label_sort_key(a) == label_sort_key(b):
+            raise GraphError(
+                f"label collision: distinct vertices {a!r} and {b!r} have "
+                f"identical sort key {label_sort_key(a)}")
+    for v in verts:
+        tname, rep = label_sort_key(v)
+        h.update(f"V|{tname}|{rep}|{graph.vertex_weight(v)!r};".encode())
+    if graph.directed:
+        arcs = sorted(graph.edges(),
+                      key=lambda e: (label_sort_key(e[0]), label_sort_key(e[1])))
+    else:
+        arcs = sorted(
+            (graph._key(u, v) for u, v in graph.edges()),
+            key=lambda e: (label_sort_key(e[0]), label_sort_key(e[1])))
+    for u, v in arcs:
+        tu, ru = label_sort_key(u)
+        tv, rv = label_sort_key(v)
+        h.update(f"E|{tu}|{ru}|{tv}|{rv}|{graph.edge_weight(u, v)!r};".encode())
+    return h.hexdigest()
 
 
 def complete_graph(n: int) -> Graph:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cc.protocol import Channel
-from repro.graphs import Graph, Vertex
+from repro.graphs import Graph, Vertex, label_sort_key
 from repro.solvers.dominating import (
     constrained_min_dominating_set,
     min_dominating_set,
@@ -172,7 +172,8 @@ def maxcut_weighted_two_thirds_protocol(inst: PartitionedInstance,
     ca = {v: (1 if v in set(ca_side) else 0) for v in inst.alice}
     # Bob's cut of his internal + cut edges
     gb = Graph()
-    gb.add_vertices(inst.bob | inst.cut_vertices())
+    gb.add_vertices(sorted(inst.bob | inst.cut_vertices(),
+                           key=label_sort_key))
     for u, v in inst.internal_edges(inst.bob) + inst.cut_edges():
         gb.add_edge(u, v, weight=g.edge_weight(u, v))
     __, cb_side = max_cut(gb)

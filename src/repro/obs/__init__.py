@@ -40,12 +40,15 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import (
     ProfileStat,
+    diff_cache_stats,
     diff_profile,
+    format_cache_stats,
     format_profile,
     profile_block,
     profile_stats,
     profiled,
     reset_profile_stats,
+    solver_cache_stats,
     top_profile,
 )
 from repro.obs.report import render_report
@@ -75,5 +78,8 @@ __all__ = [
     "diff_profile",
     "top_profile",
     "format_profile",
+    "solver_cache_stats",
+    "diff_cache_stats",
+    "format_cache_stats",
     "render_report",
 ]

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
 from repro.solvers._bitmask import BitGraph, iter_bits, lowest_bit, popcount
+from repro.solvers.cache import cached
 from repro.obs.profile import profiled
 
 _INF = float("inf")
@@ -100,6 +101,7 @@ class _SetCoverSolver:
 
 
 @profiled
+@cached
 def min_set_cover(
     n_elements: int,
     sets: Sequence[Tuple[Iterable[int], float]],
@@ -137,6 +139,7 @@ def _ball_masks(graph: Graph, bg: BitGraph, k: int) -> List[int]:
 
 
 @profiled(name="dominating.solve_domination")
+@cached(name="dominating.solve_domination")
 def _solve_domination(
     graph: Graph,
     k: int,

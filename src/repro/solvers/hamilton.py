@@ -16,6 +16,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.graphs import DiGraph, Graph, Vertex
+from repro.solvers.cache import cached
 from repro.obs.profile import profiled
 
 AnyGraph = Union[Graph, DiGraph]
@@ -182,6 +183,7 @@ class _HamSolver:
 
 
 @profiled
+@cached
 def find_hamiltonian_path(
     graph: AnyGraph,
     source: Optional[Vertex] = None,
@@ -213,6 +215,7 @@ def find_hamiltonian_path(
 
 
 @profiled
+@cached
 def find_hamiltonian_cycle(graph: AnyGraph) -> Optional[List[Vertex]]:
     """Find a Hamiltonian cycle (returned without repeating the start)."""
     dg = _as_digraph(graph)
@@ -235,6 +238,7 @@ def has_hamiltonian_cycle(graph: AnyGraph) -> bool:
 
 
 @profiled
+@cached
 def held_karp_has_path(graph: AnyGraph) -> bool:
     """O(2^n n^2) dynamic program; independent cross-check for n ≤ 18."""
     dg = _as_digraph(graph)

@@ -12,6 +12,7 @@ from typing import List, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
 from repro.solvers._bitmask import BitGraph
+from repro.solvers.cache import cached
 from repro.obs.profile import profiled
 
 
@@ -52,6 +53,7 @@ def max_cut_vectorized(graph: Graph, limit: int = 25) -> Tuple[float, List[Verte
 
 
 @profiled
+@cached
 def max_cut(graph: Graph, limit: int = 28) -> Tuple[float, List[Vertex]]:
     """Return ``(weight, side)`` of a maximum weight cut.
 

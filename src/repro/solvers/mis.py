@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
 from repro.solvers._bitmask import BitGraph, iter_bits, lowest_bit, popcount
+from repro.solvers.cache import cached
 from repro.obs.profile import profiled
 
 
@@ -165,6 +166,7 @@ class _MisSolver:
 
 
 @profiled
+@cached
 def max_independent_set(graph: Graph, weighted: bool = False) -> List[Vertex]:
     """Return a maximum (weight) independent set of ``graph``.
 
@@ -298,6 +300,7 @@ class _SparseAlphaSolver:
         return comps
 
 
+@cached
 def independence_number(graph: Graph) -> int:
     """α(G) for unweighted graphs, via branch-and-reduce with folding.
 

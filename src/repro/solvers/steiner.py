@@ -14,6 +14,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
+from repro.solvers.cache import cached
 from repro.obs.profile import profiled
 
 _INF = float("inf")
@@ -55,6 +56,7 @@ def _all_pairs_dijkstra(graph: Graph) -> Dict[Vertex, Dict[Vertex, float]]:
 
 
 @profiled
+@cached
 def steiner_tree_cost(graph: Graph, terminals: Sequence[Vertex]) -> float:
     """Minimum total edge weight of a tree spanning ``terminals``."""
     terminals = list(dict.fromkeys(terminals))
@@ -105,6 +107,7 @@ def steiner_tree_cost(graph: Graph, terminals: Sequence[Vertex]) -> float:
 
 
 @profiled
+@cached
 def steiner_tree(graph: Graph, terminals: Sequence[Vertex]) -> Tuple[float, List[Tuple[Vertex, Vertex]]]:
     """Minimum Steiner tree cost plus one optimal edge set.
 
@@ -133,6 +136,7 @@ def steiner_tree(graph: Graph, terminals: Sequence[Vertex]) -> Tuple[float, List
 
 
 @profiled
+@cached
 def min_node_weighted_steiner_cost(graph: Graph, terminals: Sequence[Vertex],
                                    limit_candidates: int = 16) -> float:
     """Minimum total *vertex* weight of a connected subgraph spanning
@@ -171,6 +175,7 @@ def min_node_weighted_steiner_cost(graph: Graph, terminals: Sequence[Vertex],
 
 
 @profiled
+@cached
 def min_directed_steiner_reachability_cost(dgraph, root, terminals,
                                            limit_paid: int = 16) -> float:
     """Minimum total *edge* weight of a sub-digraph in which every

@@ -245,3 +245,90 @@ class TestGreedyMds:
         g = complete_graph(6)
         members, __ = run_greedy_mds(g)
         assert sum(members.values()) == 1
+
+
+class TestLocalModel:
+    """Regression: ``bandwidth=math.inf`` is the LOCAL model — unbounded
+    messages must pass, while the default CONGEST bound still rejects
+    them (the old code treated the docstring's LOCAL spelling as an
+    error)."""
+
+    class Shout(NodeAlgorithm):
+        def on_start(self, ctx):
+            return {w: 1 << 500 for w in ctx.neighbors}
+
+        def on_round(self, ctx, messages):
+            ctx.halt(sum(messages.values()))
+            return {}
+
+    def test_oversized_message_passes_under_local(self):
+        import math
+
+        sim = CongestSimulator(path_graph(3), bandwidth=math.inf)
+        outputs = sim.run(self.Shout)
+        assert outputs[0] == 1 << 500
+        # sizes are still accounted even though nothing is rejected
+        assert sim.max_message_bits >= 500
+        assert sim.total_bits > 1000
+
+    def test_same_message_rejected_under_default_congest(self):
+        sim = CongestSimulator(path_graph(3))
+        assert sim.bandwidth == default_bandwidth(3)
+        with pytest.raises(BandwidthExceeded):
+            sim.run(self.Shout)
+
+    def test_explicit_finite_bandwidth_still_enforced(self):
+        sim = CongestSimulator(path_graph(3), bandwidth=100)
+        with pytest.raises(BandwidthExceeded):
+            sim.run(self.Shout)
+
+
+class TestMessageBitsEdgeCases:
+    def test_int_zero_costs_one_bit(self):
+        assert message_bits(0) == 1
+
+    def test_negative_ints(self):
+        assert message_bits(-1) == 2
+        assert message_bits(-5) == 4
+        assert message_bits(-(1 << 10)) == 12
+
+    def test_bool_dispatches_before_int(self):
+        # bool is an int subclass; it must take the 1-bit branch
+        assert message_bits(True) == 1
+        assert message_bits(False) == 1
+        assert message_bits(1) == 2
+
+    def test_nested_empty_containers(self):
+        assert message_bits([]) == 0
+        assert message_bits(()) == 0
+        assert message_bits({}) == 0
+        assert message_bits([[]]) == 2
+        assert message_bits([[], []]) == 4
+        assert message_bits(((), {})) == 4
+        assert message_bits({0: []}) == 5  # key 1 bit + value 0 + 4 framing
+
+
+class TestSimulatorDeterminism:
+    def test_two_runs_agree_exactly(self, rng):
+        g = connected_random_graph(9, 0.35, rng)
+        root = min(g.vertices())
+        first = run_bfs(g, root)
+        second = run_bfs(g, root)
+        assert first[0] == second[0]
+        assert first[1].rounds == second[1].rounds
+        assert first[1].total_messages == second[1].total_messages
+        assert first[1].total_bits == second[1].total_bits
+
+    def test_uid_assignment_is_label_repr_order(self):
+        # documented contract: uids follow (type name, repr) order, so
+        # integer labels sort lexicographically (10 before 2), and the
+        # order is independent of insertion order
+        g = Graph()
+        g.add_edge(2, 10)
+        g.add_edge(10, 100)
+        sim = CongestSimulator(g)
+        assert sim.labels == [10, 100, 2]
+        h = Graph()
+        h.add_edge(10, 100)
+        h.add_edge(10, 2)
+        assert CongestSimulator(h).labels == sim.labels

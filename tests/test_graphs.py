@@ -223,3 +223,38 @@ class TestGenerators:
         for n in (1, 2, 5, 8):
             g = complete_graph(n)
             assert g.m == n * (n - 1) // 2
+
+
+class TestDeterministicIteration:
+    """Regression: edge/subgraph iteration must not depend on the
+    process hash seed (string/tuple labels iterate sets in hash order),
+    or experiment tables differ between the serial and parallel runners."""
+
+    def test_edges_in_canonical_neighbor_order(self):
+        g = Graph()
+        for leaf in ("b", "a", "d", "c"):
+            g.add_edge("hub", leaf)
+        assert g.edges() == [("a", "hub"), ("b", "hub"),
+                             ("c", "hub"), ("d", "hub")]
+
+    def test_digraph_edges_in_canonical_successor_order(self):
+        from repro.graphs import DiGraph
+
+        d = DiGraph()
+        for succ in ("b", "a", "c"):
+            d.add_edge("s", succ)
+        assert list(d.edges()) == [("s", "a"), ("s", "b"), ("s", "c")]
+
+    def test_induced_subgraph_preserves_parent_vertex_order(self):
+        g = Graph()
+        for v in ("w", "q", "z", "m", "k"):
+            g.add_vertex(v)
+        g.add_edge("w", "z")
+        sub = g.induced_subgraph({"z", "w", "k"})
+        assert sub.vertices() == ["w", "z", "k"]
+
+    def test_induced_subgraph_missing_vertex_rejected(self):
+        g = Graph()
+        g.add_vertex("a")
+        with pytest.raises(GraphError):
+            g.induced_subgraph({"a", "missing"})
