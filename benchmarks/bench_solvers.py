@@ -45,3 +45,25 @@ def test_maxcut_vectorized(benchmark):
     value = benchmark.pedantic(lambda: max_cut_value(g),
                                rounds=1, iterations=1)
     assert value >= g.m / 2
+
+
+def test_bitmask_primitives(benchmark):
+    """popcount/iter_bits are the inner loop of every bitmask solver;
+    this pins their cost on the mask mix those solvers actually see so a
+    primitive swap shows up as a delta here before it shows up as solver
+    regressions."""
+    from repro.solvers._bitmask import iter_bits, popcount
+
+    rng = random.Random(15)
+    masks = [rng.getrandbits(24) for __ in range(2000)]
+
+    def work():
+        acc = 0
+        for m in masks:
+            acc += popcount(m)
+            for b in iter_bits(m):
+                acc ^= b
+        return acc
+
+    result = benchmark.pedantic(work, rounds=3, iterations=5)
+    assert result == work()

@@ -53,6 +53,7 @@ def simulate_two_party(
     va: Iterable[Vertex],
     algorithm_factory: Callable[[], NodeAlgorithm],
     inputs: Optional[Dict[Vertex, Any]] = None,
+    bandwidth: Optional[float] = None,
     bandwidth_factor: int = 8,
     max_rounds: int = 100000,
     tracer: Optional[Tracer] = None,
@@ -62,6 +63,12 @@ def simulate_two_party(
     ``va`` is Alice's vertex set; everything else is Bob's.  Messages
     within a side are free (each player simulates its side locally);
     messages across the cut are the protocol's communication.
+
+    ``bandwidth``/``bandwidth_factor`` follow the
+    :class:`CongestSimulator` convention: ``bandwidth=None`` selects the
+    standard CONGEST ``bandwidth_factor·log2 n`` bits, ``math.inf`` the
+    LOCAL model, and any other value a custom per-edge bound — so the
+    Theorem 1.1 accounting can be measured under every model.
 
     The cut bits are counted twice, independently: once by the legacy
     per-message ``observer`` callback and once by a trace-level
@@ -77,12 +84,14 @@ def simulate_two_party(
     ecut = [(u, v) for u, v in graph.edges()
             if (u in va_set) != (v in va_set)]
 
-    sim = CongestSimulator(graph, bandwidth_factor=bandwidth_factor,
+    sim = CongestSimulator(graph, bandwidth=bandwidth,
+                           bandwidth_factor=bandwidth_factor,
                            tracer=tracer)
     alice_uids = {sim.uid_of[v] for v in va_set}
     cut_counter = CutBitCounter(alice_uids)
     # layer the cut counter on top of whatever tracer was resolved
     # (explicit argument or the ambient trace_to_directory tracer)
+    saved_tracer, saved_observer = sim.tracer, sim.observer
     sinks = [cut_counter] + ([sim.tracer] if sim.tracer is not None else [])
     sim.tracer = MultiTracer(sinks)
     side_of_uid = {sim.uid_of[v]: (v in va_set) for v in graph.vertices()}
@@ -94,7 +103,13 @@ def simulate_two_party(
             counter["messages"] += 1
 
     sim.observer = observer
-    outputs = sim.run(algorithm_factory, inputs=inputs, max_rounds=max_rounds)
+    try:
+        outputs = sim.run(algorithm_factory, inputs=inputs,
+                          max_rounds=max_rounds)
+    finally:
+        # leave the simulator as constructed: a caller reusing `sim` for
+        # another run must not inherit this run's cut counter/observer
+        sim.tracer, sim.observer = saved_tracer, saved_observer
     if (counter["bits"], counter["messages"]) != (
             cut_counter.cut_bits, cut_counter.cut_messages):
         raise AssertionError(

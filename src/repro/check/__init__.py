@@ -1,0 +1,46 @@
+"""Differential correctness harness (``repro check``).
+
+The iff-lemmas of the reproduction ("G_{x,y} satisfies P iff
+DISJ(x,y) = FALSE") are only as trustworthy as the exact solvers
+deciding them.  This subsystem hunts for solver bugs by design rather
+than by accident, with four layers:
+
+1. :mod:`repro.check.reference` — naive *reference implementations*
+   (subset/permutation enumeration, no bitmasks, no cache) for every
+   exact solver, cross-validated against the production solvers;
+2. :mod:`repro.check.invariants` — *metamorphic invariants* checked on
+   every instance: vertex-relabeling invariance, edge-weight scaling,
+   disjoint-union additivity, complement identities like
+   α(G) + τ(G) = n, and cut/complement symmetry;
+3. :mod:`repro.check.fuzz` — a *seeded graph fuzzer* (Erdős–Rényi,
+   bounded-degree, weighted, structured, and small paper-family
+   instances) with greedy shrinking (:mod:`repro.check.shrink`) of
+   failing cases to a minimal reproducer;
+4. :mod:`repro.check.congest_check` — CONGEST-vs-centralized agreement
+   (the learn-the-graph MDS algorithm must equal the exact solver on
+   Figure 1 instances).
+
+Entry point: :func:`repro.check.harness.run_check`, surfaced as
+``python -m repro check --seed S --cases N --family F``.
+"""
+
+from repro.check.fuzz import FAMILIES, Case, generate_cases, make_case
+from repro.check.harness import (
+    CHECKS,
+    CheckFailure,
+    CheckReport,
+    run_check,
+)
+from repro.check.shrink import shrink_graph
+
+__all__ = [
+    "FAMILIES",
+    "Case",
+    "generate_cases",
+    "make_case",
+    "CHECKS",
+    "CheckFailure",
+    "CheckReport",
+    "run_check",
+    "shrink_graph",
+]

@@ -1,0 +1,66 @@
+"""CONGEST-vs-centralized agreement checks.
+
+The folklore learn-the-graph algorithm (:func:`run_universal_exact`)
+must produce exactly what the centralized exact solver produces — on the
+Figure 1 MDS instances this closes the loop between the simulator, the
+collect-and-solve machinery, and the solver the lower-bound lemma is
+checked with.  The run is traced with a :class:`RecordingTracer` so a
+failure report carries the round/bit accounting of the offending run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs import Graph
+
+
+def check_congest_mds(graph: Graph) -> Optional[str]:
+    """Learn-the-graph MDS output must equal the exact solver's.
+
+    Returns ``None`` on agreement, else a failure message including the
+    traced run statistics.
+    """
+    from repro import solvers
+    from repro.congest.algorithms.collect import CollectAndSolve
+    from repro.congest.model import CongestSimulator
+    from repro.obs import Metrics, RecordingTracer
+
+    expected = len(solvers.min_dominating_set(graph))
+
+    def local_solver(gg):
+        ds = set(solvers.min_dominating_set(gg))
+        return len(ds), {uid: (uid in ds) for uid in gg.vertices()}
+
+    tracer = RecordingTracer()
+    sim = CongestSimulator(graph, bandwidth_factor=40, tracer=tracer)
+
+    def solver(n, edge_records, vertex_records):
+        gg = Graph()
+        gg.add_vertices(range(n))
+        for u, v, w in edge_records:
+            gg.add_edge(u, v, weight=w)
+        for u, w in vertex_records:
+            gg.set_vertex_weight(u, w)
+        return local_solver(gg)
+
+    outputs = sim.run(lambda: CollectAndSolve(solver))
+
+    def run_stats() -> str:
+        metrics = Metrics.from_events(tracer.events)
+        return (f"rounds={sim.rounds} messages={sim.total_messages} "
+                f"bits={sim.total_bits} traced_rounds={metrics.rounds} "
+                f"traced_bits={metrics.total_bits}")
+
+    globals_seen = {out["global"] for out in outputs.values()}
+    if globals_seen != {expected}:
+        return (f"learn-the-graph MDS global value(s) {globals_seen} != "
+                f"exact solver's {expected} [{run_stats()}]")
+    members = [v for v, out in outputs.items() if out["value"]]
+    if len(members) != expected:
+        return (f"learn-the-graph MDS picked {len(members)} vertices, "
+                f"exact solver says {expected} [{run_stats()}]")
+    if not solvers.is_dominating_set(graph, members):
+        return (f"learn-the-graph MDS output {members!r} is not a "
+                f"dominating set [{run_stats()}]")
+    return None

@@ -1,0 +1,188 @@
+"""Seeded graph fuzzing for the differential harness.
+
+Cases are generated from ``(seed, family, index)`` through a string-seeded
+``random.Random`` — string seeding hashes the bytes (not ``hash()``), so a
+case regenerates identically in every process regardless of
+``PYTHONHASHSEED``.  That is what makes a one-line reproduction command
+(``repro check --seed S --family F``) possible: a worker, a shrinker, or
+a developer three weeks later all rebuild the exact same instance.
+
+Families
+--------
+``er``          Erdős–Rényi G(n, p), unweighted, n ∈ [4, 10]
+``bounded``     random graphs with maximum degree ≤ 3 (the Section 3 shape)
+``weighted``    Erdős–Rényi with integer vertex and edge weights
+``structured``  a fixed library of named graphs (paths, cycles, cliques,
+                stars, grids, disjoint unions, Petersen)
+``paper``       Figure 1 MDS family instances G_{x,y} at k = 2, with the
+                DISJ(x, y) ground truth recorded in ``meta``
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs import Graph, Vertex, complete_graph, cycle_graph, \
+    path_graph, random_graph
+
+FAMILIES: Tuple[str, ...] = ("er", "bounded", "weighted", "structured",
+                             "paper")
+
+
+@dataclass
+class Case:
+    """One fuzzed instance, regenerable from ``(seed, family, index)``."""
+
+    name: str
+    family: str
+    index: int
+    seed: int
+    graph: Graph
+    #: vertices the Steiner/flow/distance checks target; shrinking never
+    #: removes these.
+    terminals: Tuple[Vertex, ...] = ()
+    #: family-specific ground truth (e.g. the paper family's DISJ value).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def _case_rng(seed: int, family: str, index: int) -> random.Random:
+    # string seeding is PYTHONHASHSEED-independent (seeds from the bytes)
+    return random.Random(f"repro-check:{seed}:{family}:{index}")
+
+
+def _bounded_degree_graph(n: int, max_deg: int, rng: random.Random) -> Graph:
+    g = Graph()
+    g.add_vertices(range(n))
+    for __ in range(3 * n):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if (u != v and not g.has_edge(u, v)
+                and g.degree(u) < max_deg and g.degree(v) < max_deg):
+            g.add_edge(u, v)
+    return g
+
+
+def _petersen() -> Graph:
+    g = Graph()
+    for i in range(5):
+        g.add_edge(("o", i), ("o", (i + 1) % 5))
+        g.add_edge(("i", i), ("i", (i + 2) % 5))
+        g.add_edge(("o", i), ("i", i))
+    return g
+
+
+def _grid(rows: int, cols: int) -> Graph:
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex((r, c))
+            if r:
+                g.add_edge((r - 1, c), (r, c))
+            if c:
+                g.add_edge((r, c - 1), (r, c))
+    return g
+
+
+def _star(n: int) -> Graph:
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(1, n):
+        g.add_edge(0, i)
+    return g
+
+
+def _two_triangles() -> Graph:
+    g = Graph()
+    g.add_clique([("L", i) for i in range(3)])
+    g.add_clique([("R", i) for i in range(3)])
+    return g
+
+
+def _structured_library() -> List[Tuple[str, Graph]]:
+    return [
+        ("path-6", path_graph(6)),
+        ("cycle-7", cycle_graph(7)),
+        ("complete-6", complete_graph(6)),
+        ("star-7", _star(7)),
+        ("grid-3x3", _grid(3, 3)),
+        ("two-triangles", _two_triangles()),
+        ("petersen", _petersen()),
+        ("single-vertex", path_graph(1)),
+        ("single-edge", path_graph(2)),
+    ]
+
+
+def _pick_terminals(graph: Graph, rng: random.Random) -> Tuple[Vertex, ...]:
+    vs = graph.vertices()
+    if len(vs) < 2:
+        return tuple(vs)
+    count = min(len(vs), rng.randint(2, 4))
+    return tuple(rng.sample(vs, count))
+
+
+def make_case(seed: int, family: str, index: int, deep: bool = False) -> Case:
+    """Deterministically build fuzz case ``index`` of ``family``."""
+    rng = _case_rng(seed, family, index)
+    hi = 12 if deep else 10
+    meta: Dict[str, Any] = {}
+    if family == "er":
+        n = rng.randint(4, hi)
+        p = rng.uniform(0.2, 0.8)
+        graph = random_graph(n, p, rng)
+        name = f"er-{index:04d}(n={n},p={p:.2f})"
+    elif family == "bounded":
+        n = rng.randint(5, hi + 2)
+        graph = _bounded_degree_graph(n, 3, rng)
+        name = f"bounded-{index:04d}(n={n})"
+    elif family == "weighted":
+        n = rng.randint(4, hi - 1)
+        graph = random_graph(n, rng.uniform(0.3, 0.8), rng)
+        for v in graph.vertices():
+            graph.set_vertex_weight(v, float(rng.randint(1, 5)))
+        for u, v in graph.edges():
+            graph.set_edge_weight(u, v, float(rng.randint(1, 9)))
+        name = f"weighted-{index:04d}(n={n})"
+    elif family == "structured":
+        library = _structured_library()
+        label, graph = library[index % len(library)]
+        name = f"structured-{index:04d}({label})"
+    elif family == "paper":
+        from repro.cc.functions import disjointness, random_disjoint_pair, \
+            random_intersecting_pair
+        from repro.core.mds import MdsFamily
+        fam = MdsFamily(2)
+        if index % 2 == 0:
+            x, y = random_disjoint_pair(fam.k_bits, rng)
+        else:
+            x, y = random_intersecting_pair(fam.k_bits, rng)
+        graph = fam.build(x, y)
+        meta = {"x": x, "y": y, "disjoint": disjointness(x, y),
+                "target_size": fam.target_size, "k": fam.k}
+        name = f"paper-mds-{index:04d}(k=2,disj={meta['disjoint']})"
+    else:
+        raise ValueError(f"unknown fuzz family {family!r}; "
+                         f"try one of {FAMILIES}")
+    terminals = _pick_terminals(graph, rng)
+    return Case(name=name, family=family, index=index, seed=seed,
+                graph=graph, terminals=terminals, meta=meta)
+
+
+def generate_cases(seed: int, count: int, family: str = "all",
+                   deep: bool = False) -> List[Case]:
+    """``count`` cases, round-robin over the requested families."""
+    if family == "all":
+        chosen: Sequence[str] = FAMILIES
+    elif family in FAMILIES:
+        chosen = (family,)
+    else:
+        raise ValueError(f"unknown fuzz family {family!r}; "
+                         f"try 'all' or one of {FAMILIES}")
+    cases = []
+    per_family = {f: 0 for f in chosen}
+    for i in range(count):
+        f = chosen[i % len(chosen)]
+        cases.append(make_case(seed, f, per_family[f], deep=deep))
+        per_family[f] += 1
+    return cases

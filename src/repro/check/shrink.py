@@ -1,0 +1,117 @@
+"""Greedy shrinking of failing fuzz cases to minimal reproducers.
+
+Given a graph on which some check fails, :func:`shrink_graph` repeatedly
+tries structure-removing transformations — delete a vertex, delete an
+edge, reset a weight to the default — and keeps each one iff the check
+still fails afterwards.  The result is locally minimal: no single
+remaining simplification preserves the failure.  Greedy passes run to a
+fixpoint, bounded by ``max_checks`` predicate evaluations so a slow
+check cannot stall the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set, Tuple
+
+from repro.graphs import Graph, Vertex
+
+#: predicate(graph) -> True iff the failure still reproduces
+Failing = Callable[[Graph], bool]
+
+
+def _drop_vertex(graph: Graph, v: Vertex) -> Graph:
+    g = graph.copy()
+    g.remove_vertex(v)
+    return g
+
+
+def _drop_edge(graph: Graph, u: Vertex, v: Vertex) -> Graph:
+    g = graph.copy()
+    g.remove_edge(u, v)
+    return g
+
+
+def _reset_edge_weight(graph: Graph, u: Vertex, v: Vertex) -> Optional[Graph]:
+    if graph.edge_weight(u, v) == 1.0:
+        return None
+    g = graph.copy()
+    g.set_edge_weight(u, v, 1.0)
+    return g
+
+
+def _reset_vertex_weight(graph: Graph, v: Vertex) -> Optional[Graph]:
+    if graph.vertex_weight(v) == 1.0:
+        return None
+    g = graph.copy()
+    g.set_vertex_weight(v, 1.0)
+    return g
+
+
+def shrink_graph(graph: Graph, failing: Failing,
+                 protected: Iterable[Vertex] = (),
+                 max_checks: int = 400) -> Graph:
+    """Smallest graph (greedy, locally minimal) on which ``failing`` holds.
+
+    ``protected`` vertices are never deleted (checks that target fixed
+    terminals stay well-defined); their weights may still be reset.  The
+    input graph is never mutated.  If ``failing(graph)`` is already
+    False the graph is returned unchanged — the caller's failure was not
+    deterministic, which the harness reports as such.
+    """
+    keep: Set[Vertex] = set(protected)
+    budget = [max_checks]
+
+    def still_fails(candidate: Graph) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return failing(candidate)
+        except Exception:
+            # a candidate that crashes the check is a different bug;
+            # don't wander into it while minimising this one
+            return False
+
+    current = graph
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        # pass 1: vertices (largest structural simplification first)
+        for v in list(current.vertices()):
+            if v in keep:
+                continue
+            candidate = _drop_vertex(current, v)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+        # pass 2: edges
+        for u, v in list(current.edges()):
+            candidate = _drop_edge(current, u, v)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+        # pass 3: weights back to the default
+        for u, v in list(current.edges()):
+            reset = _reset_edge_weight(current, u, v)
+            if reset is not None and still_fails(reset):
+                current = reset
+                changed = True
+        for v in list(current.vertices()):
+            reset = _reset_vertex_weight(current, v)
+            if reset is not None and still_fails(reset):
+                current = reset
+                changed = True
+    return current
+
+
+def describe_graph(graph: Graph) -> dict:
+    """JSON-friendly snapshot of a (shrunk) graph: the reproducer body."""
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "vertices": [{"label": repr(v), "weight": graph.vertex_weight(v)}
+                     for v in graph.vertices()],
+        "edges": [{"u": repr(u), "v": repr(v),
+                   "weight": graph.edge_weight(u, v)}
+                  for u, v in graph.edges()],
+    }

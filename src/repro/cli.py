@@ -9,6 +9,11 @@ verify FAMILY [-k] [--pairs N]
 experiments [--full] [--only ID ...] [--trace-dir DIR] [--profile]
                       run the per-theorem experiments and print the table
 paper                 print the theorem-by-theorem coverage index
+check [--seed S] [--cases N] [--family F] [--deep] [--jobs N]
+                      differential correctness harness: fuzz graphs,
+                      cross-validate solvers against naive references and
+                      metamorphic invariants, shrink failures to minimal
+                      reproducers (see repro.check)
 report TRACE [--cut UIDS] [--edges N]
                       render a JSONL simulator trace (see repro.obs) into
                       a round-by-round summary
@@ -129,6 +134,18 @@ def cmd_experiments(args: argparse.Namespace) -> None:
         raise SystemExit(f"FAILED: {failed}")
 
 
+def cmd_check(args: argparse.Namespace) -> None:
+    from repro.check import run_check
+
+    report = run_check(seed=args.seed, cases=args.cases, family=args.family,
+                       deep=args.deep, jobs=args.jobs,
+                       do_shrink=not args.no_shrink,
+                       report_dir=args.report_dir)
+    print(report.summary())
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     from repro.obs import read_trace, render_report
 
@@ -193,6 +210,26 @@ def main(argv: Optional[list] = None) -> None:
 
     sub.add_parser("paper", help="theorem-by-theorem coverage index")
 
+    p = sub.add_parser("check", help="differential correctness harness: "
+                                     "fuzz, cross-validate, shrink")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base fuzz seed; (seed, family, index) regenerates "
+                        "any case bit-for-bit in any process")
+    p.add_argument("--cases", type=int, default=50,
+                   help="how many fuzz cases, round-robin over families")
+    p.add_argument("--family", default="all",
+                   help="restrict to one fuzz family "
+                        "(er, bounded, weighted, structured, paper)")
+    p.add_argument("--deep", action="store_true",
+                   help="larger instances (nightly deep-fuzz tier)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan case chunks over N worker processes")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimising them")
+    p.add_argument("--report-dir", default=None, metavar="DIR",
+                   help="write check-report.json and one JSON reproducer "
+                        "per failure to DIR")
+
     p = sub.add_parser("report", help="render a JSONL simulator trace")
     p.add_argument("trace", help="path to a trace written by JsonlTracer "
                                  "or --trace-dir")
@@ -209,6 +246,7 @@ def main(argv: Optional[list] = None) -> None:
         "verify": cmd_verify,
         "experiments": cmd_experiments,
         "paper": cmd_paper,
+        "check": cmd_check,
         "report": cmd_report,
     }[args.command](args)
 

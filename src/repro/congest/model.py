@@ -77,6 +77,8 @@ class NodeContext:
     label : the vertex label in the input graph
     uid : integer identifier in ``0..n-1`` (O(log n) bits)
     neighbors : sorted tuple of neighbour uids
+    neighbor_set : the same uids as a frozenset (O(1) membership; the
+        simulator's per-message destination check uses this)
     n : number of vertices (standard CONGEST assumption)
     input : per-vertex input (problem specific)
     """
@@ -88,6 +90,7 @@ class NodeContext:
         self.label = label
         self.uid = uid
         self.neighbors = neighbors
+        self.neighbor_set = frozenset(neighbors)
         self.n = n
         self.input = node_input
         self.edge_weights = edge_weights  # neighbour uid -> weight
@@ -275,9 +278,18 @@ class CongestSimulator:
     def _check(self, msgs: Dict[int, Message], ctx: NodeContext) -> Dict[int, Message]:
         # A vertex may halt and still deliver the messages it returned in
         # the same round; it is only skipped from the next round onwards.
+        #
+        # Counter semantics on failure: messages are checked in the
+        # batch's iteration order and the counters (``total_messages``,
+        # ``total_bits``, ``max_message_bits``) are updated *per message
+        # before* its bandwidth check.  When :class:`BandwidthExceeded`
+        # is raised the counters therefore include every message checked
+        # so far — the offending one included — and exclude the rest of
+        # the rejected batch.  A simulator that raised mid-run reports
+        # partial counts, not the counts of a completed run.
         sink = self._sink
         for receiver, msg in msgs.items():
-            if receiver not in ctx.neighbors:
+            if receiver not in ctx.neighbor_set:
                 raise ValueError(
                     f"vertex {ctx.uid} sending to non-neighbor {receiver}")
             bits = message_bits(msg)

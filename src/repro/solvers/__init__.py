@@ -44,6 +44,7 @@ from repro.solvers.hamilton import (
     find_hamiltonian_cycle,
     has_hamiltonian_path,
     has_hamiltonian_cycle,
+    held_karp_has_path,
     is_hamiltonian_path,
     is_hamiltonian_cycle,
 )
@@ -103,6 +104,7 @@ __all__ = [
     "find_hamiltonian_cycle",
     "has_hamiltonian_path",
     "has_hamiltonian_cycle",
+    "held_karp_has_path",
     "is_hamiltonian_path",
     "is_hamiltonian_cycle",
     "steiner_tree",

@@ -1,8 +1,9 @@
 """Exact maximum (weighted) cut.
 
 Uses Gray-code enumeration with incremental weight updates: consecutive
-subsets differ by one vertex, so each step costs one degree.  Vertex 0 is
-fixed on one side by symmetry.  Practical up to roughly n = 26, which
+subsets differ by one vertex, so each step costs one degree.  Vertex n−1
+(in ``BitGraph`` index order) is fixed on one side by symmetry, so only
+2^(n−1) sides are enumerated.  Practical up to roughly n = 26, which
 covers the k = 2 instance of the Figure 3 family (Theorem 2.8).
 """
 
@@ -66,7 +67,10 @@ def max_cut(graph: Graph, limit: int = 28) -> Tuple[float, List[Vertex]]:
     if n <= 1:
         return 0.0, []
     if 16 < n <= 25:
-        return max_cut_vectorized(graph)
+        try:
+            return max_cut_vectorized(graph, limit=limit)
+        except ImportError:
+            pass  # no numpy: the Gray-code walk below needs nothing
     bg = BitGraph(graph)
     # weighted adjacency lists over indices
     wadj: List[List[Tuple[int, float]]] = [[] for __ in range(n)]

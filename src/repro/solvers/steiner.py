@@ -118,6 +118,9 @@ def steiner_tree(graph: Graph, terminals: Sequence[Vertex]) -> Tuple[float, List
     terminals = list(dict.fromkeys(terminals))
     if len(terminals) <= 1:
         return 0.0, []
+    if cost == _INF:
+        # terminals in different components: no spanning tree exists
+        return _INF, []
     # brute-force the Steiner vertex subset guided by the known optimum
     others = [v for v in graph.vertices() if v not in set(terminals)]
     for extra in range(len(others) + 1):

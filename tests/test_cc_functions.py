@@ -1,0 +1,139 @@
+"""Coverage for the communication-function toolbox (repro.cc.functions)
+and the message size-accounting edge cases."""
+
+import random
+
+import pytest
+
+from repro.cc.functions import (
+    DISJ,
+    EQ,
+    all_inputs,
+    disjointness,
+    equality,
+    gap_disjointness,
+    intersection_size,
+    random_disjoint_pair,
+    random_input_pairs,
+    random_intersecting_pair,
+)
+from repro.congest import message_bits
+
+
+class TestGapDisjointness:
+    def test_disjoint_is_true(self):
+        assert gap_disjointness((1, 0, 0), (0, 1, 0), gap=2) is True
+
+    def test_large_intersection_is_false(self):
+        assert gap_disjointness((1, 1, 0), (1, 1, 0), gap=2) is False
+
+    def test_intersection_at_gap_is_legal(self):
+        # promise excludes the open interval (0, gap); size == gap is fine
+        assert gap_disjointness((1, 1, 0), (1, 1, 0), gap=2) is False
+
+    def test_promise_violation_raises(self):
+        with pytest.raises(ValueError, match="promise violation"):
+            gap_disjointness((1, 1, 0, 0), (1, 0, 0, 0), gap=2)
+
+    def test_promise_violation_message_names_the_size(self):
+        with pytest.raises(ValueError, match=r"intersection 2 in \(0, 3\)"):
+            gap_disjointness((1, 1, 0), (1, 1, 0), gap=3)
+
+    def test_gap_one_never_violates(self):
+        # with gap = 1 the interval (0, 1) is empty: plain DISJ
+        for x in all_inputs(3):
+            for y in all_inputs(3):
+                assert gap_disjointness(x, y, 1) == disjointness(x, y)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gap_disjointness((1, 0), (1,), gap=2)
+
+
+class TestRandomInputPairs:
+    def test_balanced_between_true_and_false(self):
+        rng = random.Random(0)
+        pairs = random_input_pairs(12, 40, rng)
+        verdicts = [disjointness(x, y) for x, y in pairs]
+        assert verdicts.count(True) == 20
+        assert verdicts.count(False) == 20
+
+    def test_deterministic_under_fixed_seed(self):
+        a = random_input_pairs(9, 10, random.Random(7))
+        b = random_input_pairs(9, 10, random.Random(7))
+        assert a == b
+
+    def test_disjoint_pair_is_disjoint(self):
+        rng = random.Random(3)
+        for __ in range(50):
+            x, y = random_disjoint_pair(8, rng)
+            assert disjointness(x, y)
+            assert len(x) == len(y) == 8
+
+    def test_intersecting_pair_intersects(self):
+        rng = random.Random(4)
+        for __ in range(50):
+            x, y = random_intersecting_pair(8, rng)
+            assert not disjointness(x, y)
+            assert intersection_size(x, y) >= 1
+
+
+class TestCCFunctionMetadata:
+    def test_disj_evaluates(self):
+        assert DISJ((0, 1), (1, 0)) is True
+        assert DISJ((1, 1), (1, 0)) is False
+
+    def test_eq_evaluates(self):
+        assert EQ((0, 1), (0, 1)) is True
+        assert EQ((0, 1), (1, 1)) is False
+
+    def test_complexities_are_positive(self):
+        for fn in (DISJ, EQ):
+            for K in (2, 16, 1024):
+                assert fn.cc(K) > 0
+                assert fn.ccr(K) > 0
+                assert fn.ccn(K) > 0
+                assert fn.ccn_complement(K) > 0
+
+    def test_equality_length_mismatch(self):
+        with pytest.raises(ValueError):
+            equality((1, 0), (1,))
+
+
+class TestMessageBitsEdgeCases:
+    def test_negative_int_counts_magnitude_plus_sign(self):
+        # two's-complement width: bit_length of the magnitude plus a sign bit
+        assert message_bits(-1) == 2
+        assert message_bits(-5) == 4
+        assert message_bits(-(2 ** 31)) == 33
+
+    def test_huge_int(self):
+        assert message_bits(2 ** 100) == 102
+
+    def test_empty_containers_are_free(self):
+        # framing is per item, so empty containers cost nothing
+        assert message_bits(()) == 0
+        assert message_bits([]) == 0
+        assert message_bits({}) == 0
+        assert message_bits(set()) == 0
+
+    def test_nested_containers_sum_with_framing(self):
+        inner = (1, 2)  # ints cost bit_length + 1: (2 + 2) + (3 + 2) = 9
+        assert message_bits(inner) == 9
+        assert message_bits((inner,)) == 9 + 2
+        assert message_bits({0: inner}) == 1 + 9 + 4
+
+    def test_set_and_frozenset(self):
+        assert message_bits({3}) == message_bits(frozenset({3})) == 5
+
+    def test_bytes_per_byte(self):
+        assert message_bits(b"ab") == 16
+        assert message_bits(bytearray(b"abc")) == 24
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="unsupported message type"):
+            message_bits(object())
+
+    def test_unsupported_type_nested_raises(self):
+        with pytest.raises(TypeError, match="unsupported message type"):
+            message_bits((1, object()))

@@ -79,3 +79,54 @@ class TestMaxCut:
         assert value >= 100
         s = set(side)
         assert (0 in s) != (1 in s)
+
+
+class TestDispatch:
+    """Regressions for the vectorized-window dispatch in max_cut."""
+
+    def _mid_size_graph(self):
+        import random
+        g = random_graph(18, 0.35, random.Random(21))
+        return g
+
+    def test_falls_back_to_gray_code_without_numpy(self, monkeypatch):
+        """No numpy must mean the Gray-code walk, not an ImportError."""
+        import repro.solvers.maxcut as mc
+        from repro.solvers import clear_cache
+
+        def no_numpy(graph, limit=25):
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(mc, "max_cut_vectorized", no_numpy)
+        clear_cache()
+        g = self._mid_size_graph()
+        value, side = mc.max_cut(g)
+        assert cut_weight(g, side) == value
+        clear_cache()
+        assert mc.max_cut_value(g) == value  # restored vectorized agrees
+
+    def test_caller_limit_reaches_vectorized_path(self, monkeypatch):
+        import repro.solvers.maxcut as mc
+        from repro.solvers import clear_cache
+
+        captured = {}
+        real = mc.max_cut_vectorized
+
+        def spy(graph, limit=25):
+            captured["limit"] = limit
+            return real(graph, limit=limit)
+
+        monkeypatch.setattr(mc, "max_cut_vectorized", spy)
+        clear_cache()
+        g = self._mid_size_graph()
+        mc.max_cut(g, limit=20)
+        assert captured["limit"] == 20
+
+    def test_caller_limit_still_enforced(self):
+        g = self._mid_size_graph()
+        with pytest.raises(ValueError):
+            max_cut(g, limit=17)
+
+    def test_docstring_names_the_pinned_vertex(self):
+        import repro.solvers.maxcut as mc
+        assert "n−1" in mc.__doc__
