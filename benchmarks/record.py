@@ -1,0 +1,192 @@
+"""Record simulator/solver benchmark timings into ``BENCH_simulator.json``.
+
+The pytest benchmarks under ``benchmarks/`` are great for interactive
+comparison but leave no artifact behind; this script is the perf
+*trajectory*: it times the same workloads (cold solver caches, full
+``quick=False`` experiment pipelines plus a pure-simulator flood
+microbench), takes the p50 over ``--reps`` repetitions, and appends one
+entry per bench — tagged with the git SHA and date — to
+``BENCH_simulator.json`` at the repository root.
+
+Usage
+-----
+``python benchmarks/record.py``
+    Run every bench (5 reps each), print the table, compare against the
+    last recorded entry, and exit nonzero on a >25% regression of any
+    bench.  Pass ``--update`` to also append the new measurements to
+    ``BENCH_simulator.json``.
+
+``python benchmarks/record.py --quick``
+    CI smoke tier: run only the pure-simulator bench (3 reps) and fail
+    on a >25% regression against the recorded baseline.  Never writes.
+
+The regression gate compares against the *latest* entry for each bench,
+so after a deliberate perf change you re-run with ``--update`` and
+commit the JSON; the next CI run gates against the new numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_simulator.json")
+REGRESSION_TOLERANCE = 0.25  # fail if p50 grows by more than this fraction
+
+
+def _cold_experiment(experiment_id: str) -> Callable[[], None]:
+    """The same workload the pytest benches time: one full (quick=False)
+    experiment pipeline, starting from a cold solver cache."""
+    def run() -> None:
+        from repro import solvers
+        from repro.experiments.runner import run_experiment
+
+        solvers.clear_cache()
+        record = run_experiment(experiment_id, quick=False)
+        assert record.passed, record
+    return run
+
+
+def _simulator_flood() -> None:
+    """Pure engine throughput: flood-min-id on a fixed random graph.
+
+    No exact solver involved, so this isolates the CONGEST round loop —
+    the bench the CI smoke job gates on.
+    """
+    import random
+
+    from repro.congest.algorithms.basic import FloodMinId
+    from repro.congest.model import CongestSimulator
+    from repro.graphs import random_graph
+
+    g = random_graph(64, 0.15, random.Random(0xBE))
+    sim = CongestSimulator(g)
+    sim.run(FloodMinId)
+    assert sim.rounds >= 1
+
+
+BENCHES: Dict[str, Callable[[], None]] = {
+    # the two headline benches of the perf acceptance criteria
+    "bench_congest_maxcut": _cold_experiment("E-T2.9-congest-maxcut"),
+    "bench_kmds": _cold_experiment("E-F6-T4.4-T4.5-kmds"),
+    # the remaining simulator-heavy experiment benches
+    "bench_universal_upper_bound": _cold_experiment("E-universal-upper-bound"),
+    "bench_congest_local_separation":
+        _cold_experiment("E-congest-local-separation"),
+    # pure simulator microbench (CI regression gate)
+    "simulator_flood": _simulator_flood,
+}
+
+QUICK_BENCHES = ("simulator_flood",)
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=REPO_ROOT, capture_output=True, text=True,
+                             check=True)
+        return out.stdout.strip()
+    except Exception:  # pragma: no cover - no git in exotic environments
+        return "unknown"
+
+
+def time_bench(fn: Callable[[], None], reps: int) -> Dict[str, float]:
+    samples: List[float] = []
+    for __ in range(reps):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return {
+        "p50_ms": round(statistics.median(samples), 2),
+        "min_ms": round(min(samples), 2),
+        "reps": reps,
+    }
+
+
+def load_history() -> Dict[str, List[Dict]]:
+    if not os.path.exists(BENCH_FILE):
+        return {}
+    with open(BENCH_FILE) as fh:
+        return json.load(fh)
+
+
+def latest(history: Dict[str, List[Dict]], name: str) -> Dict:
+    entries = history.get(name) or []
+    return entries[-1] if entries else {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke tier: simulator bench only, no write")
+    parser.add_argument("--update", action="store_true",
+                        help="append the new measurements to "
+                             "BENCH_simulator.json")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per bench (default 5, quick 3)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="restrict to these bench names")
+    args = parser.parse_args(argv)
+
+    names = list(QUICK_BENCHES) if args.quick else list(BENCHES)
+    if args.only:
+        unknown = [n for n in args.only if n not in BENCHES]
+        if unknown:
+            parser.error(f"unknown bench(es) {unknown}; "
+                         f"known: {sorted(BENCHES)}")
+        names = args.only
+    reps = args.reps if args.reps is not None else (3 if args.quick else 5)
+
+    history = load_history()
+    sha = git_sha()
+    today = datetime.date.today().isoformat()
+    regressions: List[str] = []
+
+    print(f"{'bench':<34} {'p50 ms':>10} {'baseline':>10} {'delta':>8}")
+    for name in names:
+        result = time_bench(BENCHES[name], reps)
+        base = latest(history, name)
+        base_p50 = base.get("p50_ms")
+        if base_p50:
+            delta = (result["p50_ms"] - base_p50) / base_p50
+            delta_s = f"{delta:+.0%}"
+            if delta > REGRESSION_TOLERANCE:
+                regressions.append(
+                    f"{name}: p50 {result['p50_ms']}ms vs baseline "
+                    f"{base_p50}ms ({delta:+.0%} > "
+                    f"{REGRESSION_TOLERANCE:.0%} tolerance, "
+                    f"baseline sha {base.get('sha', '?')})")
+        else:
+            delta_s = "(new)"
+        print(f"{name:<34} {result['p50_ms']:>10.2f} "
+              f"{base_p50 if base_p50 else '-':>10} {delta_s:>8}")
+        if args.update:
+            history.setdefault(name, []).append(
+                {"sha": sha, "date": today, **result})
+
+    if args.update:
+        with open(BENCH_FILE, "w") as fh:
+            json.dump(history, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"recorded under sha {sha} in {BENCH_FILE}")
+
+    if regressions:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

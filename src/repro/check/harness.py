@@ -118,6 +118,11 @@ def _congest_mds(case: Case) -> Optional[str]:
     return check_congest_mds(case.graph)
 
 
+def _engine_equivalence(case: Case) -> Optional[str]:
+    from repro.check.engine_check import check_engine_equivalence
+    return check_engine_equivalence(case.graph)
+
+
 def _small(limit_n: int, limit_m: int = 10 ** 9,
            fuzz_only: bool = True) -> Callable[[Case], bool]:
     def applies(case: Case) -> bool:
@@ -246,6 +251,11 @@ def _build_checks() -> List[Check]:
                          and (c.family == "paper" or c.graph.n <= 10)
                          and c.graph.is_connected()),
               shrinkable=False),
+        # -- fast engine vs reference loop --------------------------------
+        # graph-generic (works on disconnected inputs too); capped so the
+        # 4x runs per scenario stay cheap on paper-family instances
+        Check("congest:engine-equivalence", "congest", _engine_equivalence,
+              lambda c: 1 <= c.graph.n <= 32, shrinkable=False),
     ]
     return checks
 

@@ -28,6 +28,10 @@ from repro.graphs import DiGraph, Graph, Vertex, label_sort_key
 
 Message = Any
 
+#: Identity sentinel for the broadcast fast path in ``_check_fast``
+#: (``None`` is a legal message, so a private object is required).
+_NO_MESSAGE = object()
+
 
 class BandwidthExceeded(Exception):
     """A message exceeded the per-edge per-round bandwidth."""
@@ -62,6 +66,45 @@ def message_bits(msg: Message) -> int:
     if isinstance(msg, (set, frozenset)):
         return sum(message_bits(x) + 2 for x in msg)
     raise TypeError(f"unsupported message type {type(msg)!r}")
+
+
+#: Bounded memo for :func:`message_bits`.  Keys are chosen so that no two
+#: payloads with *different* bit costs can collide: scalars are keyed by
+#: ``(type, value)`` (so ``True``/``1``/``1.0`` — equal under ``==`` but
+#: differently sized — land in distinct buckets because their types
+#: differ), and tuples are only cached when every element is exactly an
+#: ``int`` (an equal tuple containing a ``bool``, e.g. ``(True, 2)`` vs
+#: ``(1, 2)``, is never eligible for lookup or insertion, so the
+#: collision cannot be observed).  The cache is cleared wholesale when it
+#: reaches ``_BITS_CACHE_MAX`` entries — workloads cycle through a small
+#: vocabulary of payload shapes, so eviction order is irrelevant.
+_BITS_CACHE: Dict[Any, int] = {}
+_BITS_CACHE_MAX = 4096
+
+
+def cached_message_bits(msg: Message) -> int:
+    """:func:`message_bits` with memoization for common hashable payloads.
+
+    Falls back to the plain recursive computation for payload shapes the
+    safe key scheme (see ``_BITS_CACHE``) does not cover.  Always returns
+    exactly ``message_bits(msg)``.
+    """
+    tp = type(msg)
+    if tp is tuple:
+        for x in msg:
+            if type(x) is not int:
+                return message_bits(msg)
+        key: Any = msg
+    elif tp is str or tp is bytes:
+        key = (tp, msg)
+    else:
+        return message_bits(msg)
+    bits = _BITS_CACHE.get(key)
+    if bits is None:
+        if len(_BITS_CACHE) >= _BITS_CACHE_MAX:
+            _BITS_CACHE.clear()
+        bits = _BITS_CACHE[key] = message_bits(msg)
+    return bits
 
 
 def default_bandwidth(n: int, c: int = 8) -> int:
@@ -196,12 +239,23 @@ class CongestSimulator:
         algorithm_factory: Callable[[], NodeAlgorithm],
         inputs: Optional[Dict[Vertex, Any]] = None,
         max_rounds: int = 100000,
+        engine: str = "fast",
     ) -> Dict[Vertex, Any]:
         """Execute until every vertex halts; return outputs by label.
 
         Counters are reset on entry, so ``sim.rounds`` etc. always
         describe the most recent run.
+
+        ``engine`` selects the round loop: ``"fast"`` (the default) runs
+        the active-set scheduler, ``"reference"`` the straight-line loop
+        it was derived from.  The two are observably identical — same
+        outputs, counters, error selection, and trace event stream — and
+        the ``congest_engine_equivalence`` check in :mod:`repro.check`
+        enforces this; ``"reference"`` exists as that check's oracle and
+        as executable documentation of the semantics.
         """
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.rounds = 0
         self.total_messages = 0
         self.total_bits = 0
@@ -227,43 +281,10 @@ class CongestSimulator:
             self._emit("run_start", n=self.n, edges=base.m,
                        bandwidth=self.bandwidth, algorithm=algo_name)
         try:
-            # round 0: on_start
-            outbox: Dict[int, Dict[int, Message]] = {}
-            for uid, ctx in contexts.items():
-                outbox[uid] = self._check(algos[uid].on_start(ctx), ctx)
-                if sink is not None and ctx.halted:
-                    self._emit("halt", uid=uid)
-
-            halted_total = sum(1 for ctx in contexts.values() if ctx.halted)
-            while not all(ctx.halted for ctx in contexts.values()):
-                if self.rounds >= max_rounds:
-                    raise RuntimeError(f"exceeded {max_rounds} rounds")
-                self.rounds += 1
-                if sink is not None:
-                    self._emit("round_start",
-                               active=len(contexts) - halted_total)
-                    msgs_before = self.total_messages
-                    bits_before = self.total_bits
-                inbox: Dict[int, Dict[int, Message]] = {uid: {} for uid in contexts}
-                for sender, msgs in outbox.items():
-                    for receiver, msg in msgs.items():
-                        inbox[receiver][sender] = msg
-                outbox = {}
-                for uid, ctx in contexts.items():
-                    if ctx.halted:
-                        outbox[uid] = {}
-                        continue
-                    outbox[uid] = self._check(
-                        algos[uid].on_round(ctx, inbox[uid]), ctx)
-                    if ctx.halted:
-                        halted_total += 1
-                        if sink is not None:
-                            self._emit("halt", uid=uid)
-                if sink is not None:
-                    self._emit("round_end",
-                               messages=self.total_messages - msgs_before,
-                               bits=self.total_bits - bits_before,
-                               halted=halted_total)
+            if engine == "fast":
+                self._loop_fast(contexts, algos, max_rounds, sink)
+            else:
+                self._loop_reference(contexts, algos, max_rounds, sink)
             if sink is not None:
                 self._emit("run_end", rounds=self.rounds,
                            total_messages=self.total_messages,
@@ -274,6 +295,128 @@ class CongestSimulator:
                 sink.flush()
             self._sink = None
         return {ctx.label: ctx.output for ctx in contexts.values()}
+
+    def _loop_fast(
+        self,
+        contexts: Dict[int, NodeContext],
+        algos: Dict[int, NodeAlgorithm],
+        max_rounds: int,
+        sink: Optional["Tracer"],
+    ) -> None:
+        """Active-set round loop.
+
+        Instead of scanning every context each round, it keeps the list
+        of non-halted uids (ascending, matching the reference loop's
+        iteration order so halt/message events and first-error selection
+        are identical), stores only non-empty outboxes, and allocates
+        inbox dicts only for uids that actually receive something.  With
+        tracing off (``sink is None``) message accounting goes through
+        :meth:`_check_fast`, which skips event construction and the
+        defensive outbox copy and memoizes :func:`message_bits`.
+        """
+        check = self._check if sink is not None else self._check_fast
+        # round 0: on_start.  Every vertex participates, and a vertex
+        # that halts here still gets its messages delivered next round.
+        outbox: List[Tuple[int, Dict[int, Message]]] = []
+        active: List[int] = []
+        for uid, ctx in contexts.items():
+            msgs = check(algos[uid].on_start(ctx), ctx)
+            if msgs:
+                outbox.append((uid, msgs))
+            if ctx.halted:
+                if sink is not None:
+                    self._emit("halt", uid=uid)
+            else:
+                active.append(uid)
+
+        n = len(contexts)
+        while active:
+            if self.rounds >= max_rounds:
+                raise RuntimeError(f"exceeded {max_rounds} rounds")
+            self.rounds += 1
+            if sink is not None:
+                self._emit("round_start", active=len(active))
+                msgs_before = self.total_messages
+                bits_before = self.total_bits
+            # Deliver.  Senders appear in ascending uid order, so each
+            # receiver's inbox is keyed by ascending sender uid exactly
+            # as the reference loop builds it.
+            inbox: Dict[int, Dict[int, Message]] = {}
+            for sender, msgs in outbox:
+                for receiver, msg in msgs.items():
+                    box = inbox.get(receiver)
+                    if box is None:
+                        box = inbox[receiver] = {}
+                    box[sender] = msg
+            outbox = []
+            new_active: List[int] = []
+            for uid in active:
+                ctx = contexts[uid]
+                # Non-receivers get a fresh empty dict (algorithms own
+                # and may mutate their inbox).
+                msgs = check(
+                    algos[uid].on_round(ctx, inbox.get(uid) or {}), ctx)
+                if msgs:
+                    outbox.append((uid, msgs))
+                if ctx.halted:
+                    if sink is not None:
+                        self._emit("halt", uid=uid)
+                else:
+                    new_active.append(uid)
+            active = new_active
+            if sink is not None:
+                self._emit("round_end",
+                           messages=self.total_messages - msgs_before,
+                           bits=self.total_bits - bits_before,
+                           halted=n - len(active))
+
+    def _loop_reference(
+        self,
+        contexts: Dict[int, NodeContext],
+        algos: Dict[int, NodeAlgorithm],
+        max_rounds: int,
+        sink: Optional["Tracer"],
+    ) -> None:
+        """The straight-line round loop the fast engine is checked
+        against: scans every context each round and allocates an inbox
+        per vertex, trading speed for obviousness."""
+        # round 0: on_start
+        outbox: Dict[int, Dict[int, Message]] = {}
+        for uid, ctx in contexts.items():
+            outbox[uid] = self._check(algos[uid].on_start(ctx), ctx)
+            if sink is not None and ctx.halted:
+                self._emit("halt", uid=uid)
+
+        halted_total = sum(1 for ctx in contexts.values() if ctx.halted)
+        while not all(ctx.halted for ctx in contexts.values()):
+            if self.rounds >= max_rounds:
+                raise RuntimeError(f"exceeded {max_rounds} rounds")
+            self.rounds += 1
+            if sink is not None:
+                self._emit("round_start",
+                           active=len(contexts) - halted_total)
+                msgs_before = self.total_messages
+                bits_before = self.total_bits
+            inbox: Dict[int, Dict[int, Message]] = {uid: {} for uid in contexts}
+            for sender, msgs in outbox.items():
+                for receiver, msg in msgs.items():
+                    inbox[receiver][sender] = msg
+            outbox = {}
+            for uid, ctx in contexts.items():
+                if ctx.halted:
+                    outbox[uid] = {}
+                    continue
+                outbox[uid] = self._check(
+                    algos[uid].on_round(ctx, inbox[uid]), ctx)
+                if ctx.halted:
+                    halted_total += 1
+                    if sink is not None:
+                        self._emit("halt", uid=uid)
+            if sink is not None:
+                self._emit("round_end",
+                           messages=self.total_messages - msgs_before,
+                           bits=self.total_bits - bits_before,
+                           halted=halted_total)
 
     def _check(self, msgs: Dict[int, Message], ctx: NodeContext) -> Dict[int, Message]:
         # A vertex may halt and still deliver the messages it returned in
@@ -304,3 +447,52 @@ class CongestSimulator:
                 raise BandwidthExceeded(
                     f"{bits}-bit message exceeds bandwidth {self.bandwidth}")
         return dict(msgs)
+
+    def _check_fast(self, msgs: Dict[int, Message], ctx: NodeContext) -> Dict[int, Message]:
+        # :meth:`_check` minus event construction and the defensive
+        # ``dict(msgs)`` copy (no sink can observe the batch, and the
+        # outbox is consumed before the algorithm runs again, so the
+        # algorithm's own dict is delivered as-is).  Counters accumulate
+        # locally and are flushed both on success and *before* either
+        # raise, preserving the partial-counter semantics documented
+        # above: on failure they include every message checked so far —
+        # for :class:`BandwidthExceeded` the offending message included,
+        # for the non-neighbor :class:`ValueError` excluded.
+        if not msgs:
+            return msgs
+        neighbor_set = ctx.neighbor_set
+        bandwidth = self.bandwidth
+        batch_messages = 0
+        batch_bits = 0
+        batch_max = self.max_message_bits
+        last_msg: Any = _NO_MESSAGE
+        last_bits = 0
+        for receiver, msg in msgs.items():
+            if receiver not in neighbor_set:
+                self.total_messages += batch_messages
+                self.total_bits += batch_bits
+                self.max_message_bits = batch_max
+                raise ValueError(
+                    f"vertex {ctx.uid} sending to non-neighbor {receiver}")
+            if msg is last_msg:
+                # broadcast fast path: the same payload object sent to
+                # several neighbors is measured once
+                bits = last_bits
+            else:
+                bits = cached_message_bits(msg)
+                last_msg = msg
+                last_bits = bits
+            batch_messages += 1
+            batch_bits += bits
+            if bits > batch_max:
+                batch_max = bits
+            if bits > bandwidth:
+                self.total_messages += batch_messages
+                self.total_bits += batch_bits
+                self.max_message_bits = batch_max
+                raise BandwidthExceeded(
+                    f"{bits}-bit message exceeds bandwidth {self.bandwidth}")
+        self.total_messages += batch_messages
+        self.total_bits += batch_bits
+        self.max_message_bits = batch_max
+        return msgs

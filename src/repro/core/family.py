@@ -115,13 +115,13 @@ def _signature(graph: AnyGraph, inside: Set[Vertex]) -> Dict[Any, float]:
     """Weighted edge multiset of G[inside] plus vertex weights of inside."""
     sig: Dict[Any, float] = {}
     if isinstance(graph, DiGraph):
-        for u, v in graph.edges():
+        for (u, v), w in graph.edge_weights().items():
             if u in inside and v in inside:
-                sig[("e", u, v)] = graph.edge_weight(u, v)
+                sig[("e", u, v)] = w
     else:
-        for u, v in graph.edges():
+        for (u, v), w in graph.edge_weights().items():
             if u in inside and v in inside:
-                sig[("e", _edge_key(u, v))] = graph.edge_weight(u, v)
+                sig[("e", _edge_key(u, v))] = w
     for v in inside:
         sig[("w", v)] = graph.vertex_weight(v)
     return sig
@@ -130,13 +130,13 @@ def _signature(graph: AnyGraph, inside: Set[Vertex]) -> Dict[Any, float]:
 def _cut_signature(graph: AnyGraph, va: Set[Vertex]) -> Dict[Any, float]:
     sig: Dict[Any, float] = {}
     if isinstance(graph, DiGraph):
-        for u, v in graph.edges():
+        for (u, v), w in graph.edge_weights().items():
             if (u in va) != (v in va):
-                sig[("e", u, v)] = graph.edge_weight(u, v)
+                sig[("e", u, v)] = w
     else:
-        for u, v in graph.edges():
+        for (u, v), w in graph.edge_weights().items():
             if (u in va) != (v in va):
-                sig[("e", _edge_key(u, v))] = graph.edge_weight(u, v)
+                sig[("e", _edge_key(u, v))] = w
     return sig
 
 

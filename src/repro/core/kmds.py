@@ -61,6 +61,7 @@ class KMdsFamily(LowerBoundGraphFamily):
         self.alpha = alpha if alpha is not None else collection.r + 1
         if self.alpha <= collection.r:
             raise ValueError("alpha must exceed r")
+        self._fixed: Optional[Graph] = None
 
     @property
     def k_bits(self) -> int:
@@ -94,6 +95,11 @@ class KMdsFamily(LowerBoundGraphFamily):
         g.add_edge(prev, v)
 
     def fixed_graph(self) -> Graph:
+        # The input-independent part is deterministic, so it is built
+        # once and copied per call (build() only retouches the S_i /
+        # S̄_i vertex weights on its private copy).
+        if self._fixed is not None:
+            return self._fixed.copy()
         g = Graph()
         ell, T = self.ell, self.collection.T
         for j in range(ell):
@@ -115,7 +121,14 @@ class KMdsFamily(LowerBoundGraphFamily):
                     self._path_edges(g, svert(i), avert(j), ("a", i, j))
                 else:
                     self._path_edges(g, scomp(i), bvert(j), ("b", i, j))
-        return g
+        # Warm the shareable derived caches once: Graph.copy() carries
+        # them over, so every per-input build() starts with the edge
+        # list, canonical vertex order and weight map precomputed.
+        g.edges()
+        g.edge_weights()
+        g.sorted_vertices()
+        self._fixed = g
+        return g.copy()
 
     def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
         if len(x) != self.k_bits or len(y) != self.k_bits:

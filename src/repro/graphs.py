@@ -17,8 +17,8 @@ Both intentionally stay small and dependency-free; conversion helpers to
 from __future__ import annotations
 
 import hashlib
-from collections import deque
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, \
+    Set, Tuple
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -26,6 +26,28 @@ Edge = Tuple[Vertex, Vertex]
 
 class GraphError(Exception):
     """Raised on structurally invalid graph operations."""
+
+
+#: Bounded memo for :func:`label_sort_key`.  Only *repr-faithful* labels
+#: participate (see :func:`_repr_faithful`): shapes for which two equal
+#: values necessarily have equal reprs, so the ``(type, value)`` key can
+#: never serve a wrong repr.  Counter-examples kept out of the cache:
+#: ``(True, 2) == (1, 2)`` are equal tuples with different reprs (so
+#: ``bool`` elements disqualify a tuple), as are ``-0.0 == 0.0`` floats.
+_SORT_KEY_CACHE: Dict[Any, Tuple[str, str]] = {}
+_SORT_KEY_CACHE_MAX = 1 << 16
+
+
+def _repr_faithful(v: Any) -> bool:
+    tp = type(v)
+    if tp is int or tp is str or tp is bytes:
+        return True
+    if tp is tuple:
+        for x in v:
+            if not _repr_faithful(x):
+                return False
+        return True
+    return False
 
 
 def label_sort_key(v: Vertex) -> Tuple[str, str]:
@@ -37,8 +59,155 @@ def label_sort_key(v: Vertex) -> Tuple[str, str]:
     colliding when their ``repr`` happens to coincide; within a type the
     order is *repr order*, which for integers is lexicographic
     (``repr(10) < repr(2)``), not numeric.
+
+    Keys for the common label shapes (ints, strings, tuples thereof) are
+    memoized — constructions rebuild graphs over the same label
+    vocabulary thousands of times, and ``repr`` of nested tuples is a
+    measurable cost in the family-validation hot path.
     """
-    return (type(v).__name__, repr(v))
+    tp = type(v)
+    if tp is tuple:
+        # depth-1 elements are checked inline; only nested tuples recurse
+        for x in v:
+            tx = type(x)
+            if tx is int or tx is str or tx is bytes:
+                continue
+            if tx is tuple and _repr_faithful(x):
+                continue
+            return (tp.__name__, repr(v))
+    elif not (tp is int or tp is str):
+        return (tp.__name__, repr(v))
+    key = (tp, v)
+    sk = _SORT_KEY_CACHE.get(key)
+    if sk is None:
+        if len(_SORT_KEY_CACHE) >= _SORT_KEY_CACHE_MAX:
+            _SORT_KEY_CACHE.clear()
+        sk = _SORT_KEY_CACHE[key] = (tp.__name__, repr(v))
+    return sk
+
+
+class GraphKernel:
+    """Int-indexed snapshot of a :class:`Graph` for hot loops.
+
+    Obtained via :meth:`Graph.kernel`.  Vertices are indexed ``0..n-1``
+    in the graph's (deterministic) insertion order — the same order
+    :class:`repro.solvers._bitmask.BitGraph` uses, so the two layers can
+    share adjacency data.  Everything beyond the index maps is built
+    lazily and cached: integer adjacency lists, neighbour bitmasks, and
+    single-source BFS rows (one list of hop distances per source,
+    ``-1`` marking unreachable).  The owning graph drops its kernel on
+    any mutation, so cached rows can never go stale; ``bfs_runs`` counts
+    actual BFS sweeps, letting tests assert work is *not* repeated.
+    """
+
+    __slots__ = ("vertices", "index", "n", "_adj_sets", "_adj_ints",
+                 "_masks", "_rows", "_balls", "bfs_runs")
+
+    def __init__(self, graph: "Graph") -> None:
+        self.vertices: List[Vertex] = list(graph._adj)
+        self.index: Dict[Vertex, int] = {
+            v: i for i, v in enumerate(self.vertices)}
+        self.n = len(self.vertices)
+        self._adj_sets = graph._adj  # shared until the graph mutates
+        self._adj_ints: Optional[List[List[int]]] = None
+        self._masks: Optional[List[int]] = None
+        self._rows: Dict[int, List[int]] = {}
+        self._balls: Dict[int, List[int]] = {}
+        self.bfs_runs = 0
+
+    def adjacency(self) -> List[List[int]]:
+        """Integer adjacency lists (sorted, so iteration order is
+        process-independent)."""
+        if self._adj_ints is None:
+            index = self.index
+            self._adj_ints = [
+                sorted(index[w] for w in self._adj_sets[v])
+                for v in self.vertices]
+        return self._adj_ints
+
+    def neighbor_masks(self) -> List[int]:
+        """Per-vertex neighbour sets as bitmasks (bit ``j`` of mask ``i``
+        iff edge ``{i, j}``)."""
+        if self._masks is None:
+            masks = [0] * self.n
+            for i, nbrs in enumerate(self.adjacency()):
+                m = 0
+                for j in nbrs:
+                    m |= 1 << j
+                masks[i] = m
+            self._masks = masks
+        return self._masks
+
+    def bfs_row(self, i: int) -> List[int]:
+        """Hop distances from vertex index ``i`` (``-1`` = unreachable),
+        computed once per source and cached."""
+        row = self._rows.get(i)
+        if row is not None:
+            return row
+        adj = self.adjacency()
+        dist = [-1] * self.n
+        dist[i] = 0
+        frontier = [i]
+        d = 0
+        while frontier:
+            d += 1
+            nxt = []
+            for u in frontier:
+                for w in adj[u]:
+                    if dist[w] < 0:
+                        dist[w] = d
+                        nxt.append(w)
+            frontier = nxt
+        self._rows[i] = dist
+        self.bfs_runs += 1
+        return dist
+
+    def ball_masks(self, k: int) -> List[int]:
+        """Distance-``k`` closed balls of every vertex, as bitmasks.
+
+        Bit ``j`` of mask ``i`` iff ``dist(i, j) <= k``.  Computed by a
+        bitmask BFS truncated at depth ``k`` — frontiers are expanded by
+        OR-ing neighbour masks, so no per-vertex distance arrays are
+        built and the sweep stops as soon as the ball saturates.  Cached
+        per ``k``.
+        """
+        balls = self._balls.get(k)
+        if balls is not None:
+            return balls
+        if k <= 0:
+            balls = [1 << i for i in range(self.n)]
+            self._balls[k] = balls
+            return balls
+        masks = self.neighbor_masks()
+        balls = []
+        for i in range(self.n):
+            ball = masks[i] | (1 << i)
+            frontier = ball
+            for __ in range(k - 1):
+                new = 0
+                m = frontier
+                while m:
+                    low = m & -m
+                    new |= masks[low.bit_length() - 1]
+                    m ^= low
+                frontier = new & ~ball
+                if not frontier:
+                    break
+                ball |= frontier
+            balls.append(ball)
+        self._balls[k] = balls
+        return balls
+
+    def eccentricity(self, i: int) -> int:
+        """Max hop distance from ``i``; raises on disconnected graphs."""
+        row = self.bfs_row(i)
+        ecc = 0
+        for d in row:
+            if d < 0:
+                raise GraphError("eccentricity in a disconnected graph")
+            if d > ecc:
+                ecc = d
+        return ecc
 
 
 class Graph:
@@ -55,6 +224,36 @@ class Graph:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._edge_weight: Dict[Edge, float] = {}
         self._vertex_weight: Dict[Vertex, float] = {}
+        #: derived-data cache (kernel, edge list, sorted vertices,
+        #: content hash, all-pairs distances); structural mutations clear
+        #: all of it, weight-only mutations clear just the entries that
+        #: depend on weights (see the _dirty* methods)
+        self._cache: Dict[str, Any] = {}
+
+    def _dirty(self) -> None:
+        """Invalidate every derived cache; called on structural mutation."""
+        if self._cache:
+            self._cache.clear()
+
+    def _dirty_vertex_weights(self) -> None:
+        """Invalidate only vertex-weight-dependent caches.  Adjacency,
+        edge lists, kernels and distances are untouched by a vertex
+        weight change; only the content hash covers it."""
+        self._cache.pop("content_hash", None)
+
+    def _dirty_edge_weights(self) -> None:
+        """Invalidate only edge-weight-dependent caches (the edge *list*
+        and everything adjacency-derived stay valid)."""
+        self._cache.pop("content_hash", None)
+        self._cache.pop("edge_weights", None)
+
+    def kernel(self) -> GraphKernel:
+        """The cached int-indexed :class:`GraphKernel` for this graph's
+        current content (rebuilt automatically after mutations)."""
+        kern = self._cache.get("kernel")
+        if kern is None:
+            kern = self._cache["kernel"] = GraphKernel(self)
+        return kern
 
     # ------------------------------------------------------------------
     # construction
@@ -63,8 +262,10 @@ class Graph:
         """Add ``v`` (idempotent); optionally (re)set its weight."""
         if v not in self._adj:
             self._adj[v] = set()
-        if weight is not None:
+            self._dirty()
+        if weight is not None and self._vertex_weight.get(v) != weight:
             self._vertex_weight[v] = weight
+            self._dirty_vertex_weights()
 
     def add_vertices(self, vs: Iterable[Vertex], weight: Optional[float] = None) -> None:
         for v in vs:
@@ -76,10 +277,15 @@ class Graph:
             raise GraphError(f"self loop on {u!r} rejected")
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._dirty()
         if weight is not None:
-            self._edge_weight[self._key(u, v)] = weight
+            key = self._key(u, v)
+            if self._edge_weight.get(key) != weight:
+                self._edge_weight[key] = weight
+                self._dirty_edge_weights()
 
     def add_edges(self, edges: Iterable[Edge], weight: Optional[float] = None) -> None:
         for u, v in edges:
@@ -98,6 +304,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._edge_weight.pop(self._key(u, v), None)
+        self._dirty()
 
     def remove_vertex(self, v: Vertex) -> None:
         if v not in self._adj:
@@ -106,6 +313,7 @@ class Graph:
             self.remove_edge(u, v)
         del self._adj[v]
         self._vertex_weight.pop(v, None)
+        self._dirty()
 
     # ------------------------------------------------------------------
     # queries
@@ -138,19 +346,55 @@ class Graph:
     def vertices(self) -> List[Vertex]:
         return list(self._adj)
 
+    def sorted_vertices(self) -> Tuple[Vertex, ...]:
+        """Vertices in canonical :func:`label_sort_key` order (cached)."""
+        verts = self._cache.get("sorted_vertices")
+        if verts is None:
+            verts = tuple(sorted(self._adj, key=label_sort_key))
+            self._cache["sorted_vertices"] = verts
+        return verts
+
     def edges(self) -> List[Edge]:
         # neighbour sets iterate in hash order, which for str/tuple labels
         # varies with PYTHONHASHSEED; sort so the edge list (and every
-        # construction built by iterating it) is process-independent
-        seen = set()
-        out = []
-        for u, nbrs in self._adj.items():
-            for v in sorted(nbrs, key=label_sort_key):
-                key = self._key(u, v)
-                if key not in seen:
-                    seen.add(key)
-                    out.append(key)
-        return out
+        # construction built by iterating it) is process-independent.
+        # The computed list is cached until the next mutation; callers
+        # get a fresh shallow copy so they may mutate their list freely.
+        cached = self._cache.get("edges")
+        if cached is None:
+            # one sort key per vertex instead of one per adjacency entry
+            sk = {v: label_sort_key(v) for v in self._adj}
+            get = sk.__getitem__
+            seen = set()
+            cached = []
+            for u, nbrs in self._adj.items():
+                ku = sk[u]
+                for v in sorted(nbrs, key=get):
+                    kv = sk[v]
+                    if ku == kv:
+                        # same guard as _key: distinct labels with one
+                        # sort key would share an edge-weight slot
+                        raise GraphError(
+                            f"label collision: distinct vertices {u!r} "
+                            f"and {v!r} have identical sort key {ku}")
+                    key = (u, v) if ku < kv else (v, u)
+                    if key not in seen:
+                        seen.add(key)
+                        cached.append(key)
+            self._cache["edges"] = cached
+        return list(cached)
+
+    def edge_weights(self) -> Dict[Edge, float]:
+        """``{canonical edge key: weight}`` for every edge, in
+        :meth:`edges` order (cached; callers get a fresh shallow copy).
+        One dict lookup per edge replaces the per-call label sorting of
+        repeated :meth:`edge_weight` queries."""
+        ew = self._cache.get("edge_weights")
+        if ew is None:
+            weights = self._edge_weight
+            ew = {key: weights.get(key, 1.0) for key in self.edges()}
+            self._cache["edge_weights"] = ew
+        return dict(ew)
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         return u in self._adj and v in self._adj[u]
@@ -183,7 +427,10 @@ class Graph:
     def set_edge_weight(self, u: Vertex, v: Vertex, weight: float) -> None:
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u!r}, {v!r}) not present")
-        self._edge_weight[self._key(u, v)] = weight
+        key = self._key(u, v)
+        if self._edge_weight.get(key) != weight:
+            self._edge_weight[key] = weight
+            self._dirty_edge_weights()
 
     def total_edge_weight(self) -> float:
         return sum(self.edge_weight(u, v) for u, v in self.edges())
@@ -196,20 +443,36 @@ class Graph:
         order — so two graphs built in different insertion orders hash
         identically iff they are the same weighted graph.  This is the
         solver-cache key material (see :mod:`repro.solvers.cache`).
+
+        The digest is memoized and invalidated on mutation, so repeated
+        solver-cache lookups against the same graph hash it once.
         """
-        return _content_hash(self)
+        digest = self._cache.get("content_hash")
+        if digest is None:
+            digest = self._cache["content_hash"] = _content_hash(self)
+        return digest
 
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
+        # direct structural copy (no per-edge mutation API round trips);
+        # vertex insertion order — the deterministic iteration order —
+        # is preserved by the dict comprehension
         g = Graph()
-        for v in self._adj:
-            g.add_vertex(v)
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._vertex_weight = dict(self._vertex_weight)
-        for u, v in self.edges():
-            g.add_edge(u, v)
         g._edge_weight = dict(self._edge_weight)
+        # Identical content means identical derived values, so the copy
+        # can share the read-only value caches.  The kernel must NOT be
+        # shared: it keeps a live reference to *this* graph's adjacency
+        # dicts, so a later mutation here would leak into the copy.
+        cache = self._cache
+        for key in ("sorted_vertices", "edges", "edge_weights",
+                    "all_pairs", "content_hash"):
+            val = cache.get(key)
+            if val is not None:
+                g._cache[key] = val
         return g
 
     def induced_subgraph(self, vs: Iterable[Vertex]) -> "Graph":
@@ -229,16 +492,32 @@ class Graph:
         return g
 
     def bfs_distances(self, source: Vertex) -> Dict[Vertex, int]:
-        """Unweighted hop distances from ``source`` (unreachable omitted)."""
-        dist = {source: 0}
-        queue = deque([source])
-        while queue:
-            u = queue.popleft()
-            for v in self._adj[u]:
-                if v not in dist:
-                    dist[v] = dist[u] + 1
-                    queue.append(v)
-        return dist
+        """Unweighted hop distances from ``source`` (unreachable omitted).
+
+        Runs over the int-indexed kernel; each source's BFS row is
+        cached, so repeated calls on an unchanged graph pay only the
+        dict construction.
+        """
+        kern = self.kernel()
+        row = kern.bfs_row(kern.index[source])
+        verts = kern.vertices
+        return {verts[j]: d for j, d in enumerate(row) if d >= 0}
+
+    def all_pairs_distances(self) -> Dict[Vertex, Dict[Vertex, int]]:
+        """Hop distances between every pair (unreachable pairs omitted).
+
+        One BFS sweep per vertex, computed once and cached until the
+        next mutation — the shared substrate for :meth:`diameter`,
+        repeated :meth:`bfs_distances` callers, and the distance-k ball
+        construction in :mod:`repro.solvers.dominating`.  Treat the
+        returned mapping as read-only; the inner dicts are shared with
+        the cache.
+        """
+        apd = self._cache.get("all_pairs")
+        if apd is None:
+            apd = {v: self.bfs_distances(v) for v in self._adj}
+            self._cache["all_pairs"] = apd
+        return dict(apd)
 
     def connected_components(self) -> List[Set[Vertex]]:
         remaining = set(self._adj)
@@ -256,12 +535,23 @@ class Graph:
         return len(self.bfs_distances(next(iter(self._adj)))) == self.n
 
     def diameter(self) -> int:
-        """Hop diameter; raises on disconnected graphs."""
-        if not self.is_connected():
+        """Hop diameter; raises on disconnected graphs.
+
+        Disconnection is detected from the *first* BFS (its row misses a
+        vertex), so a disconnected graph fails after one sweep instead
+        of n — the remaining eccentricities are never computed.
+        """
+        if not self._adj:
+            return 0
+        kern = self.kernel()
+        try:
+            best = 0
+            for i in range(kern.n):
+                ecc = kern.eccentricity(i)
+                if ecc > best:
+                    best = ecc
+        except GraphError:
             raise GraphError("diameter of a disconnected graph")
-        best = 0
-        for v in self._adj:
-            best = max(best, max(self.bfs_distances(v).values(), default=0))
         return best
 
     def relabel(self, mapping: Dict[Vertex, Vertex]) -> "Graph":
@@ -305,13 +595,20 @@ class DiGraph:
         self._pred: Dict[Vertex, Set[Vertex]] = {}
         self._edge_weight: Dict[Edge, float] = {}
         self._vertex_weight: Dict[Vertex, float] = {}
+        self._cache: Dict[str, Any] = {}
+
+    def _dirty(self) -> None:
+        if self._cache:
+            self._cache.clear()
 
     def add_vertex(self, v: Vertex, weight: Optional[float] = None) -> None:
         if v not in self._succ:
             self._succ[v] = set()
             self._pred[v] = set()
+            self._dirty()
         if weight is not None:
             self._vertex_weight[v] = weight
+            self._dirty()
 
     def add_vertices(self, vs: Iterable[Vertex], weight: Optional[float] = None) -> None:
         for v in vs:
@@ -322,10 +619,13 @@ class DiGraph:
             raise GraphError(f"self loop on {u!r} rejected")
         self.add_vertex(u)
         self.add_vertex(v)
-        self._succ[u].add(v)
-        self._pred[v].add(u)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._dirty()
         if weight is not None:
             self._edge_weight[(u, v)] = weight
+            self._dirty()
 
     def add_edges(self, edges: Iterable[Edge], weight: Optional[float] = None) -> None:
         for u, v in edges:
@@ -374,6 +674,16 @@ class DiGraph:
             raise GraphError(f"edge ({u!r}, {v!r}) not present")
         return self._edge_weight.get((u, v), default)
 
+    def edge_weights(self) -> Dict[Edge, float]:
+        """``{(u, v): weight}`` for every arc, in :meth:`edges` order
+        (cached; callers get a fresh shallow copy)."""
+        ew = self._cache.get("edge_weights")
+        if ew is None:
+            weights = self._edge_weight
+            ew = {arc: weights.get(arc, 1.0) for arc in self.edges()}
+            self._cache["edge_weights"] = ew
+        return dict(ew)
+
     def vertex_weight(self, v: Vertex, default: float = 1.0) -> float:
         if v not in self._succ:
             raise GraphError(f"vertex {v!r} not present")
@@ -381,8 +691,12 @@ class DiGraph:
 
     def content_hash(self) -> str:
         """Canonical SHA-256 of the digraph's content (see
-        :meth:`Graph.content_hash`; arc direction is part of the key)."""
-        return _content_hash(self)
+        :meth:`Graph.content_hash`; arc direction is part of the key).
+        Memoized until the next mutation."""
+        digest = self._cache.get("content_hash")
+        if digest is None:
+            digest = self._cache["content_hash"] = _content_hash(self)
+        return digest
 
     def copy(self) -> "DiGraph":
         g = DiGraph()
@@ -392,6 +706,7 @@ class DiGraph:
         for u, v in self.edges():
             g.add_edge(u, v)
         g._edge_weight = dict(self._edge_weight)
+        g._dirty()  # weights were assigned behind the mutation API
         return g
 
     def to_undirected(self) -> Graph:
@@ -424,26 +739,28 @@ def _content_hash(graph) -> str:
     in canonical label order, guarding against label-key collisions."""
     h = hashlib.sha256()
     h.update(b"digraph;" if graph.directed else b"graph;")
-    verts = sorted(graph.vertices(), key=label_sort_key)
-    for a, b in zip(verts, verts[1:]):
-        if a != b and label_sort_key(a) == label_sort_key(b):
+    if graph.directed:
+        verts = sorted(graph.vertices(), key=label_sort_key)
+    else:
+        verts = list(graph.sorted_vertices())
+    keys = [label_sort_key(v) for v in verts]
+    for a, b, ka, kb in zip(verts, verts[1:], keys, keys[1:]):
+        if a != b and ka == kb:
             raise GraphError(
                 f"label collision: distinct vertices {a!r} and {b!r} have "
-                f"identical sort key {label_sort_key(a)}")
-    for v in verts:
-        tname, rep = label_sort_key(v)
-        h.update(f"V|{tname}|{rep}|{graph.vertex_weight(v)!r};".encode())
-    if graph.directed:
-        arcs = sorted(graph.edges(),
-                      key=lambda e: (label_sort_key(e[0]), label_sort_key(e[1])))
-    else:
-        arcs = sorted(
-            (graph._key(u, v) for u, v in graph.edges()),
-            key=lambda e: (label_sort_key(e[0]), label_sort_key(e[1])))
+                f"identical sort key {ka}")
+    vweights = graph._vertex_weight
+    for v, (tname, rep) in zip(verts, keys):
+        h.update(f"V|{tname}|{rep}|{vweights.get(v, 1.0)!r};".encode())
+    # Graph.edges() already yields canonical (sorted-endpoint) keys;
+    # DiGraph.edges() yields arcs, whose direction is part of the key
+    arcs = sorted(graph.edges(),
+                  key=lambda e: (label_sort_key(e[0]), label_sort_key(e[1])))
+    eweights = graph._edge_weight
     for u, v in arcs:
         tu, ru = label_sort_key(u)
         tv, rv = label_sort_key(v)
-        h.update(f"E|{tu}|{ru}|{tv}|{rv}|{graph.edge_weight(u, v)!r};".encode())
+        h.update(f"E|{tu}|{ru}|{tv}|{rv}|{eweights.get((u, v), 1.0)!r};".encode())
     return h.hexdigest()
 
 

@@ -16,14 +16,14 @@ class BitGraph:
     """Adjacency-in-bitmask view of an undirected :class:`Graph`."""
 
     def __init__(self, graph: Graph) -> None:
-        self.vertices: List[Vertex] = list(graph.vertices())
-        self.index: Dict[Vertex, int] = {v: i for i, v in enumerate(self.vertices)}
-        self.n = len(self.vertices)
-        self.adj: List[int] = [0] * self.n
-        for u, v in graph.edges():
-            iu, iv = self.index[u], self.index[v]
-            self.adj[iu] |= 1 << iv
-            self.adj[iv] |= 1 << iu
+        # The graph kernel indexes vertices in the same (insertion)
+        # order this class always used, so its cached neighbour
+        # bitmasks are reused directly instead of rebuilt per solver.
+        kern = graph.kernel()
+        self.vertices: List[Vertex] = list(kern.vertices)
+        self.index: Dict[Vertex, int] = dict(kern.index)
+        self.n = kern.n
+        self.adj: List[int] = list(kern.neighbor_masks())
         self.weights: List[float] = [graph.vertex_weight(v) for v in self.vertices]
         self.full_mask = (1 << self.n) - 1
 

@@ -12,10 +12,10 @@ cover branch-and-bound supports two extensions the Steiner-tree experiment
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs import Graph, Vertex
-from repro.solvers._bitmask import BitGraph, iter_bits, lowest_bit, popcount
+from repro.solvers._bitmask import BitGraph, popcount
 from repro.solvers.cache import cached
 from repro.obs.profile import profiled
 
@@ -23,12 +23,18 @@ _INF = float("inf")
 
 
 def is_dominating_set(graph: Graph, vs: Sequence[Vertex], k: int = 1) -> bool:
-    """True iff every vertex is within distance ``k`` of some vertex in ``vs``."""
-    dominated: Set[Vertex] = set()
+    """True iff every vertex is within distance ``k`` of some vertex in ``vs``.
+
+    Ball masks are served by the graph kernel, so repeated calls on the
+    same graph (e.g. validating several candidate sets) reuse one
+    truncated-BFS sweep.
+    """
+    kern = graph.kernel()
+    balls = kern.ball_masks(k)
+    dominated = 0
     for v in vs:
-        dist = graph.bfs_distances(v)
-        dominated.update(u for u, d in dist.items() if d <= k)
-    return dominated >= set(graph.vertices())
+        dominated |= balls[kern.index[v]]
+    return dominated == (1 << kern.n) - 1
 
 
 class _SetCoverSolver:
@@ -43,8 +49,11 @@ class _SetCoverSolver:
         # element -> list of set indices covering it
         self.coverers: List[List[int]] = [[] for __ in range(n_elements)]
         for idx, (mask, __, ___) in enumerate(sets):
-            for e in iter_bits(mask):
-                self.coverers[e].append(idx)
+            # inlined iter_bits: this runs once per (set, element) pair
+            while mask:
+                low = mask & -mask
+                self.coverers[low.bit_length() - 1].append(idx)
+                mask ^= low
 
     def solve(self, budget: float = _INF) -> Tuple[float, Optional[List[int]]]:
         self.best_weight = budget
@@ -56,19 +65,18 @@ class _SetCoverSolver:
         """Fractional density bound: every uncovered element costs at least
         the best weight-per-new-element density among remaining sets."""
         uncovered = self.full & ~covered
-        cnt = popcount(uncovered)
-        if cnt == 0:
+        if not uncovered:
             return 0.0
         best_density = _INF
         for mask, weight, __ in self.sets:
-            gain = popcount(mask & uncovered)
-            if gain:
-                density = weight / gain
+            band = mask & uncovered
+            if band:
+                density = weight / popcount(band)
                 if density < best_density:
                     best_density = density
         if best_density is _INF:
             return _INF
-        return cnt * best_density
+        return popcount(uncovered) * best_density
 
     def _search(self, covered: int, chosen: List[int], weight: float) -> None:
         if weight + self._lower_bound(covered) >= self.best_weight:
@@ -81,9 +89,16 @@ class _SetCoverSolver:
         # branch on the uncovered element with fewest remaining coverers
         pivot = -1
         pivot_opts: Optional[List[int]] = None
-        for e in iter_bits(uncovered):
-            opts = [i for i in self.coverers[e]
-                    if self.sets[i][1] + weight < self.best_weight]
+        coverers = self.coverers
+        sets = self.sets
+        best_weight = self.best_weight
+        m = uncovered
+        while m:
+            low = m & -m
+            e = low.bit_length() - 1
+            m ^= low
+            opts = [i for i in coverers[e]
+                    if sets[i][1] + weight < best_weight]
             if pivot_opts is None or len(opts) < len(pivot_opts):
                 pivot, pivot_opts = e, opts
                 if len(opts) <= 1:
@@ -126,16 +141,13 @@ def min_set_cover(
 
 
 def _ball_masks(graph: Graph, bg: BitGraph, k: int) -> List[int]:
-    """Distance-``k`` closed ball of each vertex index, as element masks."""
-    balls = []
-    for v in bg.vertices:
-        dist = graph.bfs_distances(v)
-        mask = 0
-        for u, d in dist.items():
-            if d <= k:
-                mask |= 1 << bg.index[u]
-        balls.append(mask)
-    return balls
+    """Distance-``k`` closed ball of each vertex index, as element masks.
+
+    Served by the graph kernel's cached truncated-BFS sweep (kernel
+    indexing matches ``BitGraph`` indexing), instead of a dict-based BFS
+    per vertex per call.
+    """
+    return graph.kernel().ball_masks(k)
 
 
 @profiled(name="dominating.solve_domination")
@@ -168,13 +180,23 @@ def _solve_domination(
             w = bg.weights[i] if weighted else 1.0
             sets.append((balls[i] & ~covered, w, i))
     remaining = bg.full_mask & ~covered
-    # re-index remaining elements compactly
-    remap = {e: j for j, e in enumerate(iter_bits(remaining))}
+    # re-index remaining elements compactly (inlined iter_bits: this is
+    # once per (set, element) pair on the hot solver path)
+    remap = {}
+    j = 0
+    m = remaining
+    while m:
+        low = m & -m
+        remap[low.bit_length() - 1] = j
+        j += 1
+        m ^= low
     compact_sets = []
     for mask, w, i in sets:
         cmask = 0
-        for e in iter_bits(mask):
-            cmask |= 1 << remap[e]
+        while mask:
+            low = mask & -mask
+            cmask |= 1 << remap[low.bit_length() - 1]
+            mask ^= low
         compact_sets.append((cmask, w, i))
     solver = _SetCoverSolver(len(remap), compact_sets)
     weight, choice = solver.solve(budget - base_weight)

@@ -9,7 +9,7 @@ covers the k = 2 instance of the Figure 3 family (Theorem 2.8).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.graphs import Graph, Vertex
 from repro.solvers._bitmask import BitGraph
@@ -24,11 +24,27 @@ def cut_weight(graph: Graph, side: Sequence[Vertex]) -> float:
                for u, v in graph.edges() if (u in s) != (v in s))
 
 
+#: Masks per chunk of the vectorized sweep; bounds peak memory at
+#: roughly ``n`` uint8 rows of this length (≈26 MB at n = 25) instead of
+#: materializing all 2^(n-1) masks as int64 at once.
+_MAXCUT_CHUNK = 1 << 20
+
+
 def max_cut_vectorized(graph: Graph, limit: int = 25) -> Tuple[float, List[Vertex]]:
     """Exact max cut via a vectorized sweep over all 2^(n-1) sides.
 
-    Evaluates every cut with one numpy pass per edge; faster than the
-    Gray-code walk for the Figure 3 instances (n ≈ 21 at k = 2).
+    The sweep is chunked: for each block of masks it extracts one uint8
+    membership row per vertex, XORs the two endpoint rows per edge, and
+    accumulates.  When every weight is integral (the Figure 3 instances
+    are unweighted) edges are grouped by weight and crossing edges are
+    *counted* in int16 before one multiply per distinct weight — every
+    intermediate is an integer below 2^53, so the float64 totals are
+    exact and identical to per-edge accumulation.  Otherwise it falls
+    back to accumulating ``w * xor`` per edge in ``graph.edges()`` order,
+    reproducing the historical float rounding bit-for-bit.  Either way
+    the first-maximum tie-breaking of a single whole-array ``argmax`` is
+    preserved: chunks are scanned in ascending mask order and a later
+    chunk wins only on a strictly greater total.
     """
     import numpy as np
 
@@ -38,17 +54,42 @@ def max_cut_vectorized(graph: Graph, limit: int = 25) -> Tuple[float, List[Verte
     if n <= 1:
         return 0.0, []
     bg = BitGraph(graph)
-    masks = np.arange(1 << (n - 1), dtype=np.int64)
-    totals = np.zeros(len(masks), dtype=np.float64)
-    for u, v in graph.edges():
-        iu, iv = bg.index[u], bg.index[v]
-        w = graph.edge_weight(u, v)
-        # vertex n-1 is pinned to side 0, so shifts past n-2 read as 0
-        bu = (masks >> iu) & 1 if iu < n - 1 else np.zeros(len(masks), dtype=np.int64)
-        bv = (masks >> iv) & 1 if iv < n - 1 else np.zeros(len(masks), dtype=np.int64)
-        totals += w * (bu ^ bv)
-    best_idx = int(np.argmax(totals))
-    best = float(totals[best_idx])
+    edges = [(bg.index[u], bg.index[v], graph.edge_weight(u, v))
+             for u, v in graph.edges()]
+    integral = (all(float(w).is_integer() for __, __, w in edges)
+                and sum(abs(w) for __, __, w in edges) < 2.0 ** 53)
+    if integral:
+        # group by weight, preserving edges() order within groups
+        groups: Dict[float, List[Tuple[int, int]]] = {}
+        for iu, iv, w in edges:
+            groups.setdefault(w, []).append((iu, iv))
+
+    total_masks = 1 << (n - 1)
+    best = 0.0
+    best_idx = 0
+    have_best = False
+    for lo in range(0, total_masks, _MAXCUT_CHUNK):
+        hi = min(lo + _MAXCUT_CHUNK, total_masks)
+        masks = np.arange(lo, hi, dtype=np.int64)
+        # membership rows; vertex n-1 is pinned to side 0 so its row is 0
+        rows = [((masks >> i) & 1).astype(np.uint8) for i in range(n - 1)]
+        rows.append(np.zeros(hi - lo, dtype=np.uint8))
+        totals = np.zeros(hi - lo, dtype=np.float64)
+        if integral:
+            for w, pairs in groups.items():
+                counts = np.zeros(hi - lo, dtype=np.int16)
+                for iu, iv in pairs:
+                    counts += rows[iu] ^ rows[iv]
+                totals += w * counts
+        else:
+            for iu, iv, w in edges:
+                totals += w * (rows[iu] ^ rows[iv])
+        idx = int(np.argmax(totals))
+        value = float(totals[idx])
+        if not have_best or value > best:
+            best = value
+            best_idx = lo + idx
+            have_best = True
     side = [bg.vertices[i] for i in range(n - 1) if (best_idx >> i) & 1]
     return best, side
 

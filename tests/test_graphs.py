@@ -258,3 +258,126 @@ class TestDeterministicIteration:
         g.add_vertex("a")
         with pytest.raises(GraphError):
             g.induced_subgraph({"a", "missing"})
+
+
+class TestGraphKernel:
+    """The lazy kernel layer: cached BFS rows, cache invalidation, and the
+    disconnected-diameter early exit."""
+
+    def test_bfs_rows_cached_per_source(self):
+        g = path_graph(6)
+        kern = g.kernel()
+        g.bfs_distances(0)
+        g.bfs_distances(0)
+        g.bfs_distances(3)
+        assert kern.bfs_runs == 2
+
+    def test_all_pairs_distances_matches_bfs(self):
+        g = random_graph(12, 0.3, __import__("random").Random(7))
+        apd = g.all_pairs_distances()
+        for v in g.vertices():
+            assert apd[v] == g.bfs_distances(v)
+
+    def test_all_pairs_distances_cached(self):
+        g = cycle_graph(8)
+        g.all_pairs_distances()
+        runs = g.kernel().bfs_runs
+        g.all_pairs_distances()
+        assert g.kernel().bfs_runs == runs
+
+    def test_diameter_disconnected_stops_early(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        for v in range(2, 40):
+            g.add_vertex(v)
+        with pytest.raises(GraphError):
+            g.diameter()
+        # the first BFS already witnesses the disconnection; no full
+        # all-sources sweep should have run
+        assert g.kernel().bfs_runs <= 1
+
+    def test_mutation_invalidates_kernel(self):
+        g = path_graph(4)
+        assert g.diameter() == 3
+        h0 = g.content_hash()
+        g.add_edge(0, 3)
+        assert g.diameter() == 2
+        assert g.content_hash() != h0
+
+    def test_set_edge_weight_invalidates_content_hash(self):
+        g = path_graph(3)
+        h0 = g.content_hash()
+        g.set_edge_weight(0, 1, 5.0)
+        h1 = g.content_hash()
+        assert h1 != h0
+        # setting the same weight again is a no-op for the caches
+        kern = g.kernel()
+        g.set_edge_weight(0, 1, 5.0)
+        assert g.kernel() is kern
+        assert g.content_hash() == h1
+
+    def test_idempotent_mutations_keep_caches(self):
+        g = path_graph(4)
+        kern = g.kernel()
+        g.add_vertex(0)
+        g.add_edge(0, 1)
+        assert g.kernel() is kern
+
+    def test_copy_does_not_share_caches(self):
+        g = path_graph(4)
+        g.content_hash()
+        h = g.copy()
+        h.add_edge(0, 3)
+        assert g.content_hash() != h.content_hash()
+        assert g.diameter() == 3
+        assert h.diameter() == 2
+
+    def test_vertex_weight_change_keeps_structure_caches(self):
+        g = path_graph(4)
+        kern = g.kernel()
+        edges = g.edges()
+        h0 = g.content_hash()
+        g.set_vertex_weight(2, 7.0)
+        # only the content hash depends on vertex weights
+        assert g.content_hash() != h0
+        assert g.kernel() is kern
+        assert g.edges() == edges
+        assert g.vertex_weight(2) == 7.0
+        # re-setting the same weight is a cache no-op
+        h1 = g.content_hash()
+        g.set_vertex_weight(2, 7.0)
+        assert g.content_hash() == h1
+
+    def test_edge_weight_change_updates_edge_weights(self):
+        g = path_graph(4)
+        g.edge_weights()
+        kern = g.kernel()
+        h0 = g.content_hash()
+        g.add_edge(1, 2, weight=3.0)  # re-weight an existing edge
+        assert g.edge_weights()[(1, 2)] == 3.0
+        assert g.total_edge_weight() == 5.0
+        assert g.content_hash() != h0
+        assert g.kernel() is kern  # adjacency unchanged
+
+    def test_copy_isolated_from_original_mutation(self):
+        g = path_graph(4)
+        # warm every derived cache before copying
+        g.edges(), g.edge_weights(), g.all_pairs_distances()
+        g.content_hash(), g.diameter()
+        h = g.copy()
+        assert h.content_hash() == g.content_hash()
+        g.add_edge(0, 3)
+        g.set_vertex_weight(1, 9.0)
+        # the copy must still answer from the pre-mutation content
+        assert h.diameter() == 3
+        assert h.edges() == [(0, 1), (1, 2), (2, 3)]
+        assert h.vertex_weight(1) == 1.0
+        assert h.content_hash() != g.content_hash()
+
+    def test_copy_vertex_weight_diverges_hash(self):
+        g = path_graph(3)
+        g.content_hash()
+        h = g.copy()
+        h.set_vertex_weight(0, 4.0)
+        assert h.content_hash() != g.content_hash()
+        assert g.vertex_weight(0) == 1.0
