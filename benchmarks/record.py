@@ -17,8 +17,13 @@ Usage
     ``BENCH_simulator.json``.
 
 ``python benchmarks/record.py --quick``
-    CI smoke tier: run only the pure-simulator bench (3 reps) and fail
-    on a >25% regression against the recorded baseline.  Never writes.
+    CI smoke tier: run the pure-simulator bench plus the family-sweep
+    bench (3 reps) and fail on a >25% regression against the recorded
+    baseline.  Never writes.
+
+``python benchmarks/record.py --compare``
+    Print the delta between the last two recorded entries per bench
+    (per-SHA trajectory) without running anything.
 
 The regression gate compares against the *latest* entry for each bench,
 so after a deliberate perf change you re-run with ``--update`` and
@@ -57,6 +62,34 @@ def _cold_experiment(experiment_id: str) -> Callable[[], None]:
     return run
 
 
+def _family_sweep(scratch: bool) -> Callable[[], None]:
+    """A verify_iff sweep over MdsFamily(2): validate, then 16 repeated
+    passes over 32 input pairs.
+
+    ``scratch=False`` is the shipping path (cached-skeleton delta builds
+    plus the sweep decision memo); ``scratch=True`` pins the pre-delta
+    behaviour (every G_{x,y} rebuilt from nothing, every predicate
+    re-decided) so the recorded pair documents the speedup.
+    """
+    def run() -> None:
+        import random
+
+        from repro import solvers
+        from repro.cc.functions import random_input_pairs
+        from repro.core.family import validate_family, verify_iff
+        from repro.core.mds import MdsFamily
+
+        solvers.clear_cache()
+        fam = MdsFamily(2)
+        if scratch:
+            fam.build = fam.build_scratch  # type: ignore[method-assign]
+        pairs = random_input_pairs(fam.k_bits, 32, random.Random(0xD15C))
+        validate_family(fam, input_pairs=pairs[:6])
+        for __ in range(16):
+            verify_iff(fam, pairs, negate=True, memo=not scratch)
+    return run
+
+
 def _simulator_flood() -> None:
     """Pure engine throughput: flood-min-id on a fixed random graph.
 
@@ -85,9 +118,12 @@ BENCHES: Dict[str, Callable[[], None]] = {
         _cold_experiment("E-congest-local-separation"),
     # pure simulator microbench (CI regression gate)
     "simulator_flood": _simulator_flood,
+    # delta-build sweep vs the pre-delta scratch path (same workload)
+    "bench_family_sweep": _family_sweep(scratch=False),
+    "bench_family_sweep_scratch": _family_sweep(scratch=True),
 }
 
-QUICK_BENCHES = ("simulator_flood",)
+QUICK_BENCHES = ("simulator_flood", "bench_family_sweep")
 
 
 def git_sha() -> str:
@@ -125,6 +161,25 @@ def latest(history: Dict[str, List[Dict]], name: str) -> Dict:
     return entries[-1] if entries else {}
 
 
+def compare_history(history: Dict[str, List[Dict]], names: List[str]) -> None:
+    """Print the last two recorded entries per bench — no benches run."""
+    print(f"{'bench':<34} {'previous':>16} {'latest':>16} {'delta':>8}")
+    for name in names:
+        entries = history.get(name) or []
+        if not entries:
+            print(f"{name:<34} {'-':>16} {'-':>16} {'(none)':>8}")
+            continue
+        cur = entries[-1]
+        cur_s = f"{cur['p50_ms']}ms@{cur.get('sha', '?')}"
+        if len(entries) < 2:
+            print(f"{name:<34} {'-':>16} {cur_s:>16} {'(new)':>8}")
+            continue
+        prev = entries[-2]
+        prev_s = f"{prev['p50_ms']}ms@{prev.get('sha', '?')}"
+        delta = (cur["p50_ms"] - prev["p50_ms"]) / prev["p50_ms"]
+        print(f"{name:<34} {prev_s:>16} {cur_s:>16} {delta:>+8.0%}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -136,6 +191,9 @@ def main(argv=None) -> int:
                         help="repetitions per bench (default 5, quick 3)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="restrict to these bench names")
+    parser.add_argument("--compare", action="store_true",
+                        help="print the delta between the last two "
+                             "recorded entries per bench; runs nothing")
     args = parser.parse_args(argv)
 
     names = list(QUICK_BENCHES) if args.quick else list(BENCHES)
@@ -148,6 +206,9 @@ def main(argv=None) -> int:
     reps = args.reps if args.reps is not None else (3 if args.quick else 5)
 
     history = load_history()
+    if args.compare:
+        compare_history(history, names)
+        return 0
     sha = git_sha()
     today = datetime.date.today().isoformat()
     regressions: List[str] = []

@@ -1,0 +1,104 @@
+"""Differential check: delta-built family graphs ≡ from-scratch builds.
+
+Every migrated family builds G_{x,y} as cached-skeleton-copy + input
+delta (:class:`repro.core.family.DeltaBuildMixin`).  This check pins
+that fast path to the reference ``build_scratch`` (skeleton rebuilt
+from nothing, same deltas) via ``content_hash`` equality on seeded
+input pairs, and then interleaves weight-only and structural mutations
+on a delta-built copy to prove the shared skeleton store never leaks
+state between builds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cc.functions import random_input_pairs
+
+_COLLECTION = None
+_FAMILIES: Optional[List[Tuple[str, object]]] = None
+
+
+def _collection():
+    global _COLLECTION
+    if _COLLECTION is None:
+        from repro.covering import build_covering_collection
+        _COLLECTION = build_covering_collection(
+            universe_size=16, T=6, r=2, seed=0)
+    return _COLLECTION
+
+
+def migrated_families() -> List[Tuple[str, object]]:
+    """Named small instances of every family on the skeleton/delta
+    protocol (cached — skeleton warm-up is part of what we exercise)."""
+    global _FAMILIES
+    if _FAMILIES is None:
+        from repro.core.approx_maxis import (
+            LinearApproxMaxISFamily,
+            UnweightedApproxMaxISFamily,
+            WeightedApproxMaxISFamily,
+        )
+        from repro.core.hamiltonian import (
+            HamiltonianCycleFamily,
+            HamiltonianPathFamily,
+        )
+        from repro.core.kmds import KMdsFamily
+        from repro.core.maxcut import MaxCutFamily
+        from repro.core.mds import MdsFamily
+        from repro.core.mvc import MvcMaxISFamily
+        from repro.core.restricted_mds import RestrictedMdsConstruction
+        from repro.core.steiner import SteinerTreeFamily
+        from repro.core.steiner_approx import (
+            DirectedSteinerFamily,
+            NodeWeightedSteinerFamily,
+        )
+        cc = _collection()
+        _FAMILIES = [
+            ("mds", MdsFamily(2)),
+            ("mvc", MvcMaxISFamily(2)),
+            ("maxcut", MaxCutFamily(2)),
+            ("hamiltonian-path", HamiltonianPathFamily(2)),
+            ("hamiltonian-cycle", HamiltonianCycleFamily(2)),
+            ("steiner", SteinerTreeFamily(2)),
+            ("kmds", KMdsFamily(cc, k=2)),
+            ("kmds-k3", KMdsFamily(cc, k=3)),
+            ("node-weighted-steiner", NodeWeightedSteinerFamily(cc)),
+            ("directed-steiner", DirectedSteinerFamily(cc)),
+            ("restricted-mds", RestrictedMdsConstruction(cc)),
+            ("approx-maxis", WeightedApproxMaxISFamily(2)),
+            ("approx-maxis-unweighted", UnweightedApproxMaxISFamily(2)),
+            ("approx-maxis-linear", LinearApproxMaxISFamily(2)),
+        ]
+    return _FAMILIES
+
+
+def check_family_delta(seed: int, index: int) -> Optional[str]:
+    """Fuzz every migrated family on seeded pairs; None means OK.
+
+    No solver calls — only builds and hashes — so this runs everywhere.
+    """
+    rng = random.Random(f"repro-family-delta:{seed}:{index}")
+    for name, fam in migrated_families():
+        pairs = random_input_pairs(fam.k_bits, 2, rng)
+        for x, y in pairs:
+            delta = fam.build(x, y)
+            want = fam.build_scratch(x, y).content_hash()
+            got = delta.content_hash()
+            if got != want:
+                return (f"{name}: delta build hash {got[:16]} != "
+                        f"scratch build hash {want[:16]} on x={x}, y={y}")
+            # interleaved weight-only and structural mutations on the
+            # delta copy must not bleed into the shared skeleton store
+            victim = delta.vertices()[0]
+            delta.add_vertex(victim, weight=313.0)        # weight-only
+            delta.add_vertex(("delta-check", "mutant"))   # structural
+            if delta.content_hash() == want:
+                return (f"{name}: content_hash did not change under "
+                        f"mutation on x={x}, y={y}")
+            rebuilt = fam.build(x, y).content_hash()
+            if rebuilt != want:
+                return (f"{name}: skeleton store corrupted by mutation "
+                        f"on a built copy (x={x}, y={y}): rebuild hash "
+                        f"{rebuilt[:16]} != scratch hash {want[:16]}")
+    return None

@@ -123,6 +123,11 @@ def _engine_equivalence(case: Case) -> Optional[str]:
     return check_engine_equivalence(case.graph)
 
 
+def _family_delta(case: Case) -> Optional[str]:
+    from repro.check.family_check import check_family_delta
+    return check_family_delta(case.seed, case.index)
+
+
 def _small(limit_n: int, limit_m: int = 10 ** 9,
            fuzz_only: bool = True) -> Callable[[Case], bool]:
     def applies(case: Case) -> bool:
@@ -256,6 +261,11 @@ def _build_checks() -> List[Check]:
         # 4x runs per scenario stay cheap on paper-family instances
         Check("congest:engine-equivalence", "congest", _engine_equivalence,
               lambda c: 1 <= c.graph.n <= 32, shrinkable=False),
+        # -- incremental builds vs from-scratch builds ---------------------
+        # independent of the fuzz graph (sweeps every migrated family on
+        # seeded pairs); piggybacked on a couple of er cases per run
+        Check("family:delta-equivalence", "family", _family_delta,
+              lambda c: c.family == "er" and c.index < 2, shrinkable=False),
     ]
     return checks
 

@@ -94,10 +94,35 @@ def cmd_describe(args: argparse.Namespace) -> None:
         print(f"{key:>14}: {value}")
 
 
+def _parse_bits(text: str, k_bits: int, flag: str) -> tuple:
+    if len(text) != k_bits or set(text) - {"0", "1"}:
+        raise SystemExit(
+            f"{flag} expects a string of {k_bits} bits (0/1), got {text!r}")
+    return tuple(int(b) for b in text)
+
+
 def cmd_verify(args: argparse.Namespace) -> None:
     from repro.cc.functions import random_input_pairs
+    from repro.core.family import configure_sweep
 
+    if args.sweep_jobs:
+        configure_sweep(args.sweep_jobs)
     fam = _build(args.family, args.k)
+    if args.xbits is not None or args.ybits is not None:
+        # single-pair mode: re-check one (x, y), as emitted in
+        # verify_iff mismatch repro commands
+        if args.xbits is None or args.ybits is None:
+            raise SystemExit("--x and --y must be given together")
+        x = _parse_bits(args.xbits, fam.k_bits, "--x")
+        y = _parse_bits(args.ybits, fam.k_bits, "--y")
+        expected = not fam.function(x, y)  # negate=True convention
+        actual = fam.predicate(fam.build(x, y))
+        status = "OK" if actual == expected else "MISMATCH"
+        print(f"x={x}, y={y}: predicate={actual}, expected={expected} "
+              f"-> {status}")
+        if actual != expected:
+            raise SystemExit(1)
+        return
     print(f"validating Definition 1.1 for {args.family} (k={args.k}) ...")
     validate_family(fam)
     print("  structural requirements: OK")
@@ -114,6 +139,7 @@ def cmd_paper(args: argparse.Namespace) -> None:
 
 
 def cmd_experiments(args: argparse.Namespace) -> None:
+    from repro.core.family import configure_sweep
     from repro.experiments import format_markdown, run_all
     from repro.solvers.cache import configure as configure_cache, default_cache_dir
 
@@ -121,6 +147,8 @@ def cmd_experiments(args: argparse.Namespace) -> None:
     if cache_dir == "DEFAULT":
         cache_dir = default_cache_dir()
     configure_cache(enabled=not args.no_cache, cache_dir=cache_dir)
+    if args.sweep_jobs:
+        configure_sweep(args.sweep_jobs)
     records = run_all(quick=not args.full,
                       only=args.only if args.only else None,
                       trace_dir=args.trace_dir,
@@ -182,6 +210,13 @@ def main(argv: Optional[list] = None) -> None:
     p.add_argument("-k", type=int, default=4)
     p.add_argument("--pairs", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--x", dest="xbits", default=None, metavar="BITS",
+                   help="with --y: check the single input pair given as "
+                        "0/1 strings instead of sampling (the repro-"
+                        "command form verify_iff emits on mismatch)")
+    p.add_argument("--y", dest="ybits", default=None, metavar="BITS")
+    p.add_argument("--sweep-jobs", type=int, default=0, metavar="N",
+                   help="fan predicate sweeps over N worker processes")
 
     p = sub.add_parser("experiments", help="run the per-theorem experiments")
     p.add_argument("--full", action="store_true")
@@ -207,6 +242,10 @@ def main(argv: Optional[list] = None) -> None:
                    metavar="DIR",
                    help="persist solver results to DIR (bare --cache-dir "
                         "uses ~/.cache/repro); default is memory-only")
+    p.add_argument("--sweep-jobs", type=int, default=0, metavar="N",
+                   help="fan each family's predicate sweep over N worker "
+                        "processes (independent of --jobs; reports are "
+                        "byte-identical to serial sweeps)")
 
     sub.add_parser("paper", help="theorem-by-theorem coverage index")
 

@@ -75,6 +75,8 @@ def _is_prime(n: int) -> bool:
 class WeightedApproxMaxISFamily(LowerBoundGraphFamily):
     """Theorem 4.3 family: (7/8 + ε)-approximate weighted MaxIS."""
 
+    cli_name = "approx-maxis"
+
     def __init__(self, k: int) -> None:
         self.k = k
         self.ell, self.t, self.q = choose_code_params(k)
@@ -96,7 +98,7 @@ class WeightedApproxMaxISFamily(LowerBoundGraphFamily):
         return self.ell + self.t
 
     # ------------------------------------------------------------------
-    def fixed_graph(self) -> Graph:
+    def build_skeleton(self) -> Graph:
         g = Graph()
         k = self.k
         for s in SETS:
@@ -126,10 +128,7 @@ class WeightedApproxMaxISFamily(LowerBoundGraphFamily):
                             g.add_edge(row(s, i), gadget(s, j, alpha))
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be k^2")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
         k = self.k
         for i in range(k):
             for i2 in range(k):
@@ -137,7 +136,6 @@ class WeightedApproxMaxISFamily(LowerBoundGraphFamily):
                     g.add_edge(row("A1", i), row("A2", i2))
                 if not y[i * k + i2]:
                     g.add_edge(row("B1", i), row("B2", i2))
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = set()
@@ -202,10 +200,11 @@ class WeightedApproxMaxISFamily(LowerBoundGraphFamily):
 class UnweightedApproxMaxISFamily(WeightedApproxMaxISFamily):
     """Theorem 4.1: replace each row vertex by a batch of ℓ unit twins."""
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        weighted = super().build(x, y)
+    cli_name = "approx-maxis-unweighted"
+
+    def build_skeleton(self) -> Graph:
+        weighted = super().build_skeleton()
         g = Graph()
-        k = self.k
 
         def copies(v: Vertex) -> List[Vertex]:
             if isinstance(v, tuple) and v[0] == "row":
@@ -220,6 +219,22 @@ class UnweightedApproxMaxISFamily(WeightedApproxMaxISFamily):
                 for cv in copies(v):
                     g.add_edge(cu, cv)
         return g
+
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
+        # the blown-up image of the weighted input edges: ℓ×ℓ twin pairs
+        k, ell = self.k, self.ell
+        for i in range(k):
+            for i2 in range(k):
+                if not x[i * k + i2]:
+                    for cu in range(ell):
+                        for cv in range(ell):
+                            g.add_edge(batch_row("A1", i, cu),
+                                       batch_row("A2", i2, cv))
+                if not y[i * k + i2]:
+                    for cu in range(ell):
+                        for cv in range(ell):
+                            g.add_edge(batch_row("B1", i, cu),
+                                       batch_row("B2", i2, cv))
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = set()
@@ -265,6 +280,8 @@ class LinearApproxMaxISFamily(LowerBoundGraphFamily):
     V_A = "vA"
     V_B = "vB"
 
+    cli_name = "approx-maxis-linear"
+
     def __init__(self, k: int) -> None:
         self.k = k
         self.ell, self.t, self.q = choose_code_params(k)
@@ -286,7 +303,7 @@ class LinearApproxMaxISFamily(LowerBoundGraphFamily):
     def _batch(self, tag: str) -> List[Vertex]:
         return [("batch", tag, xi) for xi in range(self.ell)]
 
-    def fixed_graph(self) -> Graph:
+    def build_skeleton(self) -> Graph:
         g = Graph()
         k = self.k
         for s in ("A2", "B2"):
@@ -314,10 +331,7 @@ class LinearApproxMaxISFamily(LowerBoundGraphFamily):
             g.add_vertex(v, weight=1)
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k or len(y) != self.k:
-            raise ValueError("input length must be k")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
         for i in range(self.k):
             if not x[i]:
                 for v in self._batch(self.V_A):
@@ -325,7 +339,6 @@ class LinearApproxMaxISFamily(LowerBoundGraphFamily):
             if not y[i]:
                 for v in self._batch(self.V_B):
                     g.add_edge(v, row("B2", i))
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = set(self._batch(self.V_A))

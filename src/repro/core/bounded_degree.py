@@ -181,6 +181,7 @@ class BoundedDegreeMaxIS:
         return self.base.k_bits
 
     def build(self, x: Sequence[int], y: Sequence[int]) -> BoundedDegreeInstance:
+        # inherits the incremental path through the base family's build
         g = self.base.build(x, y)
         phi = graph_to_formula(g)
         expanded = expand_formula(phi, seed=self.seed)

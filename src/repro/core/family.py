@@ -13,6 +13,17 @@ Theorem 1.1 then gives a CONGEST round lower bound of
 
 :func:`validate_family` machine-checks items 1-3 on sampled inputs and
 :func:`verify_iff` checks item 4 with an exact predicate decision.
+
+Incremental builds.  Definition 1.1 makes every family a fixed skeleton
+perturbed per input pair, so :class:`DeltaBuildMixin` splits ``build``
+into ``build_skeleton()`` (the input-independent graph, built and
+cache-warmed once per family instance) and ``apply_inputs(g, x, y)``
+(the x/y-dependent edge/weight deltas applied to a cache-carrying
+copy).  Sweeps over many pairs then cost one skeleton construction plus
+one cheap delta per pair; :func:`sweep` additionally memoizes predicate
+decisions on the ``(x, y)`` delta signature so repeated pairs — the
+common case across ``validate_family`` / ``verify_iff`` / witness
+checks — never rebuild or re-solve at all.
 """
 
 from __future__ import annotations
@@ -34,25 +45,124 @@ class FamilyValidationError(AssertionError):
     """A Definition 1.1 requirement failed on concrete inputs."""
 
 
-class LowerBoundGraphFamily(ABC):
+#: module default for sweep fan-out; set via :func:`configure_sweep`
+#: (the CLI's ``--sweep-jobs``).  ``verify_iff``/``sweep`` callers that
+#: pass ``jobs=None`` use this value.
+_DEFAULT_SWEEP_JOBS = 1
+
+
+def configure_sweep(jobs: int = 1) -> None:
+    """Set the default worker count for predicate sweeps (``jobs=1`` is
+    serial).  Fork-based experiment workers inherit the setting."""
+    global _DEFAULT_SWEEP_JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_SWEEP_JOBS = jobs
+
+
+def _warm_graph_caches(graph: AnyGraph) -> None:
+    """Precompute the derived caches a cache-carrying ``copy()`` shares,
+    so every per-input build starts with them populated (the trick
+    KMdsFamily proved out before it was hoisted here)."""
+    if isinstance(graph, Graph):
+        graph.sorted_vertices()
+        graph.edges()
+        graph.edge_weights()
+    else:
+        graph.edge_weights()
+
+
+class DeltaBuildMixin:
+    """The skeleton/delta incremental-build protocol.
+
+    Implementors provide :meth:`build_skeleton` (input-independent
+    graph) and :meth:`apply_inputs` (x/y-dependent deltas); the mixin
+    supplies a ``build`` that copies a cached, cache-warmed skeleton
+    and applies the deltas.  Structural deltas (``add_edge``) drop the
+    copy's derived caches; weight-only deltas (``set_vertex_weight`` /
+    weighted ``add_edge`` re-weights) keep the adjacency-derived caches
+    alive via the class-based invalidation in :mod:`repro.graphs`.
+
+    Classes that cannot split their construction (transform wrappers,
+    varying vertex sets) simply override ``build`` directly; everything
+    here degrades gracefully to that.
+    """
+
+    def build_skeleton(self) -> AnyGraph:
+        """Construct the input-independent part of G_{x,y} from scratch."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the skeleton/delta "
+            f"protocol; override build() directly or provide "
+            f"build_skeleton() + apply_inputs()")
+
+    def apply_inputs(self, graph: AnyGraph, x: Sequence[int],
+                     y: Sequence[int]) -> None:
+        """Install the x/y-dependent edge/weight deltas on ``graph``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement apply_inputs()")
+
+    def skeleton(self) -> AnyGraph:
+        """A fresh copy of the cached skeleton (built once per instance,
+        derived caches warmed; the copy is safe to mutate)."""
+        store = getattr(self, "_skeleton_store", None)
+        if store is None:
+            store = self.build_skeleton()
+            _warm_graph_caches(store)
+            self._skeleton_store = store
+        return store.copy()
+
+    def fixed_graph(self) -> AnyGraph:
+        """Historical name for :meth:`skeleton` (a warmed mutable copy
+        of the input-independent graph)."""
+        return self.skeleton()
+
+    def _require_inputs(self, x: Sequence[int], y: Sequence[int]) -> None:
+        k_bits = self.k_bits  # type: ignore[attr-defined]
+        if len(x) != k_bits or len(y) != k_bits:
+            raise ValueError(f"input length must be {k_bits}")
+
+    def build(self, x: Sequence[int], y: Sequence[int]) -> AnyGraph:
+        """Construct G_{x,y} as skeleton-copy + delta."""
+        self._require_inputs(x, y)
+        g = self.skeleton()
+        self.apply_inputs(g, x, y)
+        return g
+
+    def build_scratch(self, x: Sequence[int], y: Sequence[int]) -> AnyGraph:
+        """Reference build that bypasses the skeleton cache entirely —
+        the differential baseline the ``family:delta-equivalence`` check
+        pins ``build`` against.  Falls back to ``build`` for families
+        that override it directly."""
+        try:
+            g = self.build_skeleton()
+        except NotImplementedError:
+            return self.build(x, y)
+        self._require_inputs(x, y)
+        self.apply_inputs(g, x, y)
+        return g
+
+
+class LowerBoundGraphFamily(DeltaBuildMixin, ABC):
     """Abstract base for every construction in the paper.
 
     Subclasses fix K (``k_bits``), the reduced-from function
-    (``function``, usually DISJ), the partition, the builder, and an
+    (``function``, usually DISJ), the partition, the builder — either
+    ``build_skeleton`` + ``apply_inputs`` (preferred, see
+    :class:`DeltaBuildMixin`) or a direct ``build`` override — and an
     exact predicate decision procedure.
     """
 
     #: the two-party function reduced from (Definition 1.1's f)
     function: CCFunction = DISJ
 
+    #: ``repro verify`` registry name, when the family is constructible
+    #: from the CLI — lets verify_iff emit one-line repro commands.
+    cli_name: Optional[str] = None
+
     @property
     @abstractmethod
     def k_bits(self) -> int:
         """Input length K of each player's bit string."""
-
-    @abstractmethod
-    def build(self, x: Sequence[int], y: Sequence[int]) -> AnyGraph:
-        """Construct G_{x,y}."""
 
     @abstractmethod
     def alice_vertices(self) -> Set[Vertex]:
@@ -159,8 +269,20 @@ def validate_family(
     xs = [p[0] for p in input_pairs]
     ys = [p[1] for p in input_pairs]
 
+    # the three scans below revisit the same (x, y) combinations; build
+    # each graph once (deltas are cheap but solver-free builds are not
+    # always, e.g. transform wrappers)
+    built: Dict[Tuple[Bits, Bits], AnyGraph] = {}
+
+    def build(x: Bits, y: Bits) -> AnyGraph:
+        key = (tuple(x), tuple(y))
+        g = built.get(key)
+        if g is None:
+            g = built[key] = family.build(x, y)
+        return g
+
     va = family.alice_vertices()
-    base = family.build(xs[0], ys[0])
+    base = build(xs[0], ys[0])
     vertex_set = set(base.vertices())
     vb = vertex_set - va
     if not va <= vertex_set:
@@ -168,21 +290,125 @@ def validate_family(
     cut_sig = _cut_signature(base, va)
 
     for x in xs[:3]:
-        sigs = {frozenset(_signature(family.build(x, y), va).items())
+        sigs = {frozenset(_signature(build(x, y), va).items())
                 for y in ys}
         if len(sigs) != 1:
             raise FamilyValidationError("G[VA] depends on y")
     for y in ys[:3]:
-        sigs = {frozenset(_signature(family.build(x, y), vb).items())
+        sigs = {frozenset(_signature(build(x, y), vb).items())
                 for x in xs}
         if len(sigs) != 1:
             raise FamilyValidationError("G[VB] depends on x")
     for x, y in zip(xs, ys):
-        g = family.build(x, y)
+        g = build(x, y)
         if set(g.vertices()) != vertex_set:
             raise FamilyValidationError("vertex set varies with the input")
         if _cut_signature(g, va) != cut_sig:
             raise FamilyValidationError("Ecut varies with the input")
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a batched predicate sweep (see :func:`sweep`).
+
+    ``decisions[i]`` is the predicate value for ``pairs[i]``; reports
+    are order-preserving and byte-identical regardless of memoization
+    or worker fan-out.
+    """
+
+    decisions: List[bool]
+    pairs: int
+    unique_pairs: int
+    memo_hits: int
+    solved: int
+
+    def __str__(self) -> str:
+        return (f"{self.pairs} pairs swept "
+                f"({self.unique_pairs} unique, {self.memo_hits} memo hits, "
+                f"{self.solved} solved)")
+
+
+def sweep(
+    family: LowerBoundGraphFamily,
+    input_pairs: Sequence[Tuple[Bits, Bits]],
+    jobs: Optional[int] = None,
+    memo: bool = True,
+) -> SweepReport:
+    """Decide P(G_{x,y}) for a batch of input pairs through the
+    incremental-build path.
+
+    The per-instance memo keys decisions on the ``(x, y)`` delta
+    signature — for a fixed family instance the graph, and hence the
+    predicate, is a pure function of the pair, so equal pairs (within
+    this batch or across earlier sweeps on the same instance) are never
+    rebuilt or re-solved.  Distinct pairs yielding equal graphs still
+    collapse into :mod:`repro.solvers.cache` hits via ``content_hash``.
+
+    ``jobs > 1`` fans the *unique* pairs over the PR 2 fork pool
+    (serial fallback when the family or platform can't support it);
+    decisions come back in request order either way.
+    """
+    if jobs is None:
+        jobs = _DEFAULT_SWEEP_JOBS
+    memo_store: Dict[Tuple[Bits, Bits], bool]
+    if memo:
+        memo_store = getattr(family, "_sweep_memo", None)
+        if memo_store is None:
+            memo_store = family._sweep_memo = {}
+    else:
+        memo_store = {}
+
+    keys = [(tuple(x), tuple(y)) for x, y in input_pairs]
+    todo: List[Tuple[Bits, Bits]] = []
+    seen: Set[Tuple[Bits, Bits]] = set()
+    for key in keys:
+        if key not in memo_store and key not in seen:
+            seen.add(key)
+            todo.append(key)
+    # prior-sweep hits and in-batch duplicates both skip the solver
+    memo_hits = len(keys) - len(todo)
+
+    decided: Optional[List[bool]] = None
+    if jobs > 1 and len(todo) > 1:
+        from repro.experiments.sweep import parallel_decisions
+        decided = parallel_decisions(family, todo, jobs)
+    if decided is None:
+        decided = [family.predicate(family.build(x, y)) for x, y in todo]
+    for key, decision in zip(todo, decided):
+        memo_store[key] = decision
+
+    return SweepReport(
+        decisions=[memo_store[key] for key in keys],
+        pairs=len(keys),
+        unique_pairs=len(todo),
+        memo_hits=memo_hits,
+        solved=len(todo),
+    )
+
+
+def pair_repro_command(
+    family: LowerBoundGraphFamily,
+    x: Sequence[int],
+    y: Sequence[int],
+) -> str:
+    """A copy-pasteable one-liner re-checking one (x, y) pair, in the
+    ``repro check`` repro-command convention.
+
+    Only meaningful for CLI-registered families (``cli_name`` set);
+    collection-backed families assume the CLI's default covering
+    collection, which matches the experiment defaults.
+    """
+    name = getattr(family, "cli_name", None)
+    if name is None:
+        return (f"(no CLI repro available for {type(family).__name__}; "
+                f"x={tuple(x)}, y={tuple(y)})")
+    xbits = "".join(str(int(b)) for b in x)
+    ybits = "".join(str(int(b)) for b in y)
+    cmd = f"python -m repro verify {name}"
+    k = getattr(family, "k", None)
+    if isinstance(k, int):
+        cmd += f" -k {k}"
+    return f"{cmd} --x {xbits} --y {ybits}"
 
 
 @dataclass
@@ -202,28 +428,42 @@ def verify_iff(
     family: LowerBoundGraphFamily,
     input_pairs: Sequence[Tuple[Bits, Bits]],
     negate: bool = False,
+    jobs: Optional[int] = None,
+    memo: bool = True,
 ) -> IffReport:
     """Check item 4 of Definition 1.1: P(G_{x,y}) ⇔ f(x, y).
 
     Most constructions in the paper satisfy P iff DISJ = FALSE; they pass
     ``negate=True`` (the predicate then tracks ¬f, which is the same
     family up to renaming the predicate).
+
+    Decisions run through :func:`sweep` (delta builds, per-pair
+    memoization, optional ``jobs`` fan-out).  On failure, *all*
+    mismatching pairs are collected into the
+    :class:`FamilyValidationError`, each with a one-line repro command.
     """
+    report = sweep(family, input_pairs, jobs=jobs, memo=memo)
     true_count = 0
     false_count = 0
-    for x, y in input_pairs:
+    mismatches: List[str] = []
+    for (x, y), actual in zip(input_pairs, report.decisions):
         expected = family.function(x, y)
         if negate:
             expected = not expected
-        actual = family.predicate(family.build(x, y))
         if actual != expected:
-            raise FamilyValidationError(
-                f"predicate mismatch on x={x}, y={y}: "
-                f"predicate={actual}, expected={expected}")
+            mismatches.append(
+                f"  x={tuple(x)}, y={tuple(y)}: "
+                f"predicate={actual}, expected={expected}\n"
+                f"    reproduce: {pair_repro_command(family, x, y)}")
         if expected:
             true_count += 1
         else:
             false_count += 1
+    if mismatches:
+        raise FamilyValidationError(
+            f"{len(mismatches)} predicate mismatch(es) over "
+            f"{len(input_pairs)} pairs on {type(family).__name__}:\n"
+            + "\n".join(mismatches))
     return IffReport(checked=len(input_pairs),
                      true_instances=true_count,
                      false_instances=false_count)

@@ -71,6 +71,8 @@ def burn(c: int, d: int, q: str) -> Vertex:
 class HamiltonianPathFamily(LowerBoundGraphFamily):
     """Figure 2 / Theorem 2.2 family for directed Hamiltonian path."""
 
+    cli_name = "hamiltonian-path"
+
     def __init__(self, k: int) -> None:
         self.k = k
         self.log_k = _check_power_of_two(k)
@@ -106,7 +108,7 @@ class HamiltonianPathFamily(LowerBoundGraphFamily):
             return ("r", c - 1)
         return S11
 
-    def fixed_graph(self) -> DiGraph:
+    def build_skeleton(self) -> DiGraph:
         g = DiGraph()
         k = self.k
         for v in (START, END, S11, S21, S12, S22):
@@ -145,10 +147,8 @@ class HamiltonianPathFamily(LowerBoundGraphFamily):
                     g.add_edge(b, self._backward_target(c, d, q))
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> DiGraph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be k^2")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: DiGraph, x: Sequence[int],
+                     y: Sequence[int]) -> None:
         k = self.k
         for i in range(k):
             for j in range(k):
@@ -156,7 +156,6 @@ class HamiltonianPathFamily(LowerBoundGraphFamily):
                     g.add_edge(arow(1, i), arow(2, j))
                 if y[i * k + j]:
                     g.add_edge(brow(1, i), brow(2, j))
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         """A-rows, their gadget slots (d < k/2), and the box scaffolding."""
@@ -215,7 +214,9 @@ class HamiltonianPathFamily(LowerBoundGraphFamily):
         # the four special rows and the tail
         path.extend([arow(1, i), arow(2, j), S21, S12,
                      brow(1, i), brow(2, j), S22, END])
-        graph = HamiltonianPathFamily.build(self, x, y)
+        # explicitly the *path* graph, even when self is a cycle family
+        graph = HamiltonianPathFamily.build_skeleton(self)
+        self.apply_inputs(graph, x, y)
         assert is_hamiltonian_path(graph, path), "witness path invalid"
         return path
 
@@ -223,8 +224,10 @@ class HamiltonianPathFamily(LowerBoundGraphFamily):
 class HamiltonianCycleFamily(HamiltonianPathFamily):
     """Claim 2.6 / Theorem 2.3: add ``middle`` with end → middle → start."""
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> DiGraph:
-        g = super().build(x, y)
+    cli_name = "hamiltonian-cycle"
+
+    def build_skeleton(self) -> DiGraph:
+        g = super().build_skeleton()
         g.add_edge(END, MIDDLE)
         g.add_edge(MIDDLE, START)
         return g

@@ -52,6 +52,8 @@ def scomp(i: int) -> Vertex:
 class KMdsFamily(LowerBoundGraphFamily):
     """Figure 5 / Theorems 4.4-4.5 family for approximate k-MDS."""
 
+    cli_name = "kmds"
+
     def __init__(self, collection: CoveringCollection, k: int = 2,
                  alpha: Optional[int] = None) -> None:
         if k < 2:
@@ -61,7 +63,6 @@ class KMdsFamily(LowerBoundGraphFamily):
         self.alpha = alpha if alpha is not None else collection.r + 1
         if self.alpha <= collection.r:
             raise ValueError("alpha must exceed r")
-        self._fixed: Optional[Graph] = None
 
     @property
     def k_bits(self) -> int:
@@ -94,12 +95,7 @@ class KMdsFamily(LowerBoundGraphFamily):
             prev = mid
         g.add_edge(prev, v)
 
-    def fixed_graph(self) -> Graph:
-        # The input-independent part is deterministic, so it is built
-        # once and copied per call (build() only retouches the S_i /
-        # S̄_i vertex weights on its private copy).
-        if self._fixed is not None:
-            return self._fixed.copy()
+    def build_skeleton(self) -> Graph:
         g = Graph()
         ell, T = self.ell, self.collection.T
         for j in range(ell):
@@ -121,23 +117,13 @@ class KMdsFamily(LowerBoundGraphFamily):
                     self._path_edges(g, svert(i), avert(j), ("a", i, j))
                 else:
                     self._path_edges(g, scomp(i), bvert(j), ("b", i, j))
-        # Warm the shareable derived caches once: Graph.copy() carries
-        # them over, so every per-input build() starts with the edge
-        # list, canonical vertex order and weight map precomputed.
-        g.edges()
-        g.edge_weights()
-        g.sorted_vertices()
-        self._fixed = g
-        return g.copy()
+        return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be T")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
+        # weight-only deltas: the copy's adjacency-derived caches survive
         for i in range(self.collection.T):
             g.set_vertex_weight(svert(i), 1 if x[i] else self.alpha)
             g.set_vertex_weight(scomp(i), 1 if y[i] else self.alpha)
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = {A_SPECIAL}
@@ -145,7 +131,7 @@ class KMdsFamily(LowerBoundGraphFamily):
         va.update(svert(i) for i in range(self.collection.T))
         if self.k > 2:
             # internal path vertices follow their S_i / a_j side
-            base = self.fixed_graph()
+            base = self.skeleton()
             va.update(v for v in base.vertices()
                       if isinstance(v, tuple) and v[0] == "path"
                       and v[1][0] == "a")

@@ -58,6 +58,8 @@ def bin_vertices(set_name: str, j: int, log_k: int) -> List[Vertex]:
 class MaxCutFamily(LowerBoundGraphFamily):
     """Figure 3 / Theorem 2.8 family for exact weighted max-cut."""
 
+    cli_name = "maxcut"
+
     def __init__(self, k: int) -> None:
         self.k = k
         self.log_k = _check_power_of_two(k)
@@ -83,7 +85,7 @@ class MaxCutFamily(LowerBoundGraphFamily):
         return self.target_weight - 4 * self.k
 
     # ------------------------------------------------------------------
-    def fixed_graph(self) -> Graph:
+    def build_skeleton(self) -> Graph:
         g = Graph()
         k, log_k = self.k, self.log_k
         heavy = self.heavy
@@ -111,10 +113,7 @@ class MaxCutFamily(LowerBoundGraphFamily):
                            weight=2 * k * k * log_k - k * k)
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be k^2")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
         k = self.k
         for i in range(k):
             for j in range(k):
@@ -122,6 +121,7 @@ class MaxCutFamily(LowerBoundGraphFamily):
                     g.add_edge(row("A1", i), row("A2", j), weight=1)
                 if not y[i * k + j]:
                     g.add_edge(row("B1", i), row("B2", j), weight=1)
+        # the N-edges exist for every input (their weight may be 0)
         for i in range(k):
             g.add_edge(row("A1", i), NA,
                        weight=sum(x[i * k + j] for j in range(k)))
@@ -131,7 +131,6 @@ class MaxCutFamily(LowerBoundGraphFamily):
                        weight=sum(y[i * k + j] for j in range(k)))
             g.add_edge(row("B2", i), NB,
                        weight=sum(y[j * k + i] for j in range(k)))
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = {CA, CA_BAR, NA}

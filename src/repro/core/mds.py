@@ -73,6 +73,8 @@ def cobin_set(set_name: str, i: int, log_k: int) -> List[Vertex]:
 class MdsFamily(LowerBoundGraphFamily):
     """Figure 1 / Theorem 2.1 lower-bound family for exact MDS."""
 
+    cli_name = "mds"
+
     def __init__(self, k: int) -> None:
         self.k = k
         self.log_k = _check_power_of_two(k)
@@ -83,7 +85,7 @@ class MdsFamily(LowerBoundGraphFamily):
         return self.k * self.k
 
     # ------------------------------------------------------------------
-    def fixed_graph(self) -> Graph:
+    def build_skeleton(self) -> Graph:
         g = Graph()
         k, log_k = self.k, self.log_k
         for s in SETS:
@@ -106,10 +108,7 @@ class MdsFamily(LowerBoundGraphFamily):
                     g.add_edge(row(s, i), v)
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be k^2")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
         k = self.k
         for i in range(k):
             for j in range(k):
@@ -117,7 +116,6 @@ class MdsFamily(LowerBoundGraphFamily):
                     g.add_edge(row("A1", i), row("A2", j))
                 if y[i * k + j]:
                     g.add_edge(row("B1", i), row("B2", j))
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = set()

@@ -74,6 +74,8 @@ def bin_pairs(set_name: str, i: int, log_k: int) -> List[Vertex]:
 class MvcMaxISFamily(LowerBoundGraphFamily):
     """CKP-style family: α = 4·log k + 6 iff DISJ = FALSE."""
 
+    cli_name = "mvc"
+
     def __init__(self, k: int) -> None:
         self.k = k
         self.log_k = _check_power_of_two(k)
@@ -90,7 +92,7 @@ class MvcMaxISFamily(LowerBoundGraphFamily):
         return self.n_vertices() - self.alpha_yes
 
     # ------------------------------------------------------------------
-    def fixed_graph(self) -> Graph:
+    def build_skeleton(self) -> Graph:
         g = Graph()
         k, log_k = self.k, self.log_k
         for s in SETS:
@@ -114,10 +116,7 @@ class MvcMaxISFamily(LowerBoundGraphFamily):
             g.add_edge(w, row(side + "2", 0))
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be k^2")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
         k = self.k
         for i in range(k):
             for j in range(k):
@@ -125,7 +124,6 @@ class MvcMaxISFamily(LowerBoundGraphFamily):
                     g.add_edge(row("A1", i), row("A2", j))
                 if not y[i * k + j]:
                     g.add_edge(row("B1", i), row("B2", j))
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = {W_A, WP_A}

@@ -117,6 +117,8 @@ class ReducedFamily(LowerBoundGraphFamily):
         return self.base.k_bits
 
     def build(self, x: Sequence[int], y: Sequence[int]) -> AnyGraph:
+        # a whole-graph transform can't split into skeleton + delta, but
+        # the base family's delta path still makes its half incremental
         return self.transform(self.base.build(x, y))
 
     def alice_vertices(self) -> Set[Vertex]:

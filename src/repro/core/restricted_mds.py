@@ -23,6 +23,7 @@ from repro.congest.local_aggregate import (
     LocalAggregateRun,
     simulate_shared_two_party,
 )
+from repro.core.family import DeltaBuildMixin
 from repro.core.kmds import A_SPECIAL, B_SPECIAL, R_SPECIAL, scomp, svert
 from repro.covering.designs import CoveringCollection
 from repro.graphs import Graph, Vertex
@@ -33,8 +34,13 @@ def element(j: int) -> Vertex:
     return ("elem", j)
 
 
-class RestrictedMdsConstruction:
-    """Figure 7 construction with shared element vertices."""
+class RestrictedMdsConstruction(DeltaBuildMixin):
+    """Figure 7 construction with shared element vertices.
+
+    Not a :class:`LowerBoundGraphFamily` (the shared vertices see both
+    inputs), but it is still a fixed skeleton with weight-only deltas,
+    so it rides the same incremental-build protocol.
+    """
 
     def __init__(self, collection: CoveringCollection,
                  alpha: int = None) -> None:  # type: ignore[assignment]
@@ -49,9 +55,7 @@ class RestrictedMdsConstruction:
     def ell(self) -> int:
         return self.collection.universe_size
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be T")
+    def build_skeleton(self) -> Graph:
         g = Graph()
         for j in range(self.ell):
             g.add_vertex(element(j), weight=self.alpha)
@@ -61,8 +65,8 @@ class RestrictedMdsConstruction:
         g.add_edge(R_SPECIAL, A_SPECIAL)
         g.add_edge(R_SPECIAL, B_SPECIAL)
         for i in range(self.collection.T):
-            g.add_vertex(svert(i), weight=1 if x[i] else self.alpha)
-            g.add_vertex(scomp(i), weight=1 if y[i] else self.alpha)
+            g.add_vertex(svert(i), weight=self.alpha)
+            g.add_vertex(scomp(i), weight=self.alpha)
             g.add_edge(A_SPECIAL, svert(i))
             g.add_edge(B_SPECIAL, scomp(i))
             for j in range(self.ell):
@@ -71,6 +75,11 @@ class RestrictedMdsConstruction:
                 else:
                     g.add_edge(scomp(i), element(j))
         return g
+
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
+        for i in range(self.collection.T):
+            g.set_vertex_weight(svert(i), 1 if x[i] else self.alpha)
+            g.set_vertex_weight(scomp(i), 1 if y[i] else self.alpha)
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = {A_SPECIAL}

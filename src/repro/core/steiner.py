@@ -33,7 +33,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.family import LowerBoundGraphFamily
-from repro.core.mds import MdsFamily, fvert, tvert
+from repro.core.mds import MdsFamily, fvert, row, tvert
 from repro.graphs import Graph, Vertex
 from repro.solvers.dominating import constrained_min_dominating_set
 from repro.solvers.steiner import is_steiner_tree
@@ -45,6 +45,8 @@ def copy_of(v: Vertex) -> Vertex:
 
 class SteinerTreeFamily(LowerBoundGraphFamily):
     """Theorem 2.7 / Claim 2.8 family for exact minimum Steiner tree."""
+
+    cli_name = "steiner"
 
     def __init__(self, k: int) -> None:
         self.k = k
@@ -64,8 +66,9 @@ class SteinerTreeFamily(LowerBoundGraphFamily):
     def terminals(self) -> List[Vertex]:
         return self.mds.fixed_graph().vertices()
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        base = self.mds.build(x, y)
+    def build_skeleton(self) -> Graph:
+        # doubled-graph transform of the (input-free) MDS skeleton
+        base = self.mds.skeleton()
         g = Graph()
         originals = base.vertices()
         for v in originals:
@@ -81,6 +84,20 @@ class SteinerTreeFamily(LowerBoundGraphFamily):
         for u, v in self.crossing_pairs:                    # crossing
             g.add_edge(copy_of(u), copy_of(v))
         return g
+
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
+        # the doubled image of the MDS input edges {u, v}: (ũ, v), (ṽ, u)
+        k = self.k
+        for i in range(k):
+            for j in range(k):
+                if x[i * k + j]:
+                    u, v = row("A1", i), row("A2", j)
+                    g.add_edge(copy_of(u), v)
+                    g.add_edge(copy_of(v), u)
+                if y[i * k + j]:
+                    u, v = row("B1", i), row("B2", j)
+                    g.add_edge(copy_of(u), v)
+                    g.add_edge(copy_of(v), u)
 
     def alice_vertices(self) -> Set[Vertex]:
         va = self.mds.alice_vertices()

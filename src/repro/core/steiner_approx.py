@@ -41,6 +41,8 @@ from repro.solvers.steiner import (
 class NodeWeightedSteinerFamily(LowerBoundGraphFamily):
     """Theorem 4.6 / Lemma 4.5 family."""
 
+    cli_name = "node-weighted-steiner"
+
     def __init__(self, collection: CoveringCollection,
                  alpha: int = None) -> None:  # type: ignore[assignment]
         self.collection = collection
@@ -58,7 +60,7 @@ class NodeWeightedSteinerFamily(LowerBoundGraphFamily):
         return [avert(j) for j in range(self.ell)] + \
                [bvert(j) for j in range(self.ell)]
 
-    def fixed_graph(self) -> Graph:
+    def build_skeleton(self) -> Graph:
         g = Graph()
         ell, T = self.ell, self.collection.T
         for j in range(ell):
@@ -81,14 +83,10 @@ class NodeWeightedSteinerFamily(LowerBoundGraphFamily):
                     g.add_edge(scomp(i), bvert(j))
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> Graph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be T")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: Graph, x: Sequence[int], y: Sequence[int]) -> None:
         for i in range(self.collection.T):
             g.set_vertex_weight(svert(i), 1 if x[i] else self.alpha)
             g.set_vertex_weight(scomp(i), 1 if y[i] else self.alpha)
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = {A_SPECIAL}
@@ -108,6 +106,8 @@ class NodeWeightedSteinerFamily(LowerBoundGraphFamily):
 class DirectedSteinerFamily(LowerBoundGraphFamily):
     """Theorem 4.7 / Lemma 4.6 family."""
 
+    cli_name = "directed-steiner"
+
     def __init__(self, collection: CoveringCollection,
                  alpha: int = None) -> None:  # type: ignore[assignment]
         self.collection = collection
@@ -125,7 +125,7 @@ class DirectedSteinerFamily(LowerBoundGraphFamily):
         return [avert(j) for j in range(self.ell)] + \
                [bvert(j) for j in range(self.ell)]
 
-    def fixed_graph(self) -> DiGraph:
+    def build_skeleton(self) -> DiGraph:
         g = DiGraph()
         ell, T = self.ell, self.collection.T
         g.add_edge(R_SPECIAL, A_SPECIAL, weight=0)
@@ -140,10 +140,8 @@ class DirectedSteinerFamily(LowerBoundGraphFamily):
             g.add_edge(B_SPECIAL, scomp(i), weight=1)
         return g
 
-    def build(self, x: Sequence[int], y: Sequence[int]) -> DiGraph:
-        if len(x) != self.k_bits or len(y) != self.k_bits:
-            raise ValueError("input length must be T")
-        g = self.fixed_graph()
+    def apply_inputs(self, g: DiGraph, x: Sequence[int],
+                     y: Sequence[int]) -> None:
         for i in range(self.collection.T):
             for j in range(self.ell):
                 if j in self.collection.sets[i]:
@@ -152,7 +150,6 @@ class DirectedSteinerFamily(LowerBoundGraphFamily):
                 else:
                     if y[i]:
                         g.add_edge(scomp(i), bvert(j), weight=0)
-        return g
 
     def alice_vertices(self) -> Set[Vertex]:
         va: Set[Vertex] = {A_SPECIAL}

@@ -11,7 +11,12 @@ from repro.core.approx_maxis import (
     UnweightedApproxMaxISFamily,
     WeightedApproxMaxISFamily,
 )
-from repro.core.family import theorem_1_1_bound, validate_family, verify_iff
+from repro.core.family import (
+    sweep,
+    theorem_1_1_bound,
+    validate_family,
+    verify_iff,
+)
 from repro.core.kmds import KMdsFamily
 from repro.core.restricted_mds import RestrictedMdsConstruction
 from repro.core.steiner_approx import (
@@ -151,8 +156,9 @@ def run_restricted_mds(quick: bool = True) -> ExperimentRecord:
     cc = _default_collection(quick)
     rm = RestrictedMdsConstruction(cc)
     pairs = random_input_pairs(cc.T, 4 if quick else 8, rng)
-    for x, y in pairs:
-        assert rm.predicate(rm.build(x, y)) == (not disjointness(x, y))
+    report = sweep(rm, pairs)
+    for (x, y), decided in zip(pairs, report.decisions):
+        assert decided == (not disjointness(x, y))
     x, y = pairs[0]
     run = rm.simulate_greedy_two_party(x, y)
     ds = [v for v, b in run.outputs.items() if b]

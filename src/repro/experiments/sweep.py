@@ -1,0 +1,62 @@
+"""Fork-pool fan-out for predicate sweeps (:func:`repro.core.family.sweep`).
+
+The sweep engine hands us a family instance and its list of *unique*
+(x, y) pairs; we pickle the family once, chunk the pairs, and decide
+each chunk in a worker.  Workers rebuild graphs via the same delta path
+(the skeleton is re-derived once per worker) and share nothing mutable,
+so decisions are deterministic and merged back in request order.
+
+Anything that prevents fan-out — an unpicklable family (transform
+wrappers hold lambdas), a daemonic parent process (nested pools), pool
+setup failure — returns ``None`` and the caller falls back to the
+serial loop.  Fan-out is an optimisation, never a correctness concern.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent import futures
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.parallel import _mp_context
+
+Bits = Tuple[int, ...]
+
+
+def _decide_chunk(payload: Tuple[bytes, List[Tuple[Bits, Bits]]]) -> List[bool]:
+    """Worker entry point: decide the predicate for one chunk of pairs."""
+    family = pickle.loads(payload[0])
+    return [family.predicate(family.build(x, y)) for x, y in payload[1]]
+
+
+def parallel_decisions(
+    family,
+    pairs: Sequence[Tuple[Bits, Bits]],
+    jobs: int,
+) -> Optional[List[bool]]:
+    """Decide ``pairs`` over ``jobs`` fork workers, in request order.
+
+    Returns ``None`` when fan-out is impossible (unpicklable family,
+    nested pool, pool failure) so the caller can run serially.
+    """
+    try:
+        blob = pickle.dumps(family)
+    except Exception:
+        return None
+    jobs = min(jobs, len(pairs))
+    chunk_size = (len(pairs) + jobs - 1) // jobs
+    chunks = [list(pairs[i:i + chunk_size])
+              for i in range(0, len(pairs), chunk_size)]
+    try:
+        with futures.ProcessPoolExecutor(
+                max_workers=jobs, mp_context=_mp_context()) as pool:
+            results = list(pool.map(_decide_chunk,
+                                    [(blob, chunk) for chunk in chunks]))
+    except Exception:
+        # daemonic nesting, broken pool, worker import failure — all
+        # legitimate reasons to decide serially instead
+        return None
+    decisions: List[bool] = []
+    for chunk_result in results:
+        decisions.extend(chunk_result)
+    return decisions

@@ -601,14 +601,23 @@ class DiGraph:
         if self._cache:
             self._cache.clear()
 
+    def _dirty_vertex_weights(self) -> None:
+        # Same invalidation classes as Graph: vertex-weight changes only
+        # affect the content hash, not any adjacency-derived cache.
+        self._cache.pop("content_hash", None)
+
+    def _dirty_edge_weights(self) -> None:
+        self._cache.pop("content_hash", None)
+        self._cache.pop("edge_weights", None)
+
     def add_vertex(self, v: Vertex, weight: Optional[float] = None) -> None:
         if v not in self._succ:
             self._succ[v] = set()
             self._pred[v] = set()
             self._dirty()
-        if weight is not None:
+        if weight is not None and self._vertex_weight.get(v) != weight:
             self._vertex_weight[v] = weight
-            self._dirty()
+            self._dirty_vertex_weights()
 
     def add_vertices(self, vs: Iterable[Vertex], weight: Optional[float] = None) -> None:
         for v in vs:
@@ -623,9 +632,9 @@ class DiGraph:
             self._succ[u].add(v)
             self._pred[v].add(u)
             self._dirty()
-        if weight is not None:
+        if weight is not None and self._edge_weight.get((u, v)) != weight:
             self._edge_weight[(u, v)] = weight
-            self._dirty()
+            self._dirty_edge_weights()
 
     def add_edges(self, edges: Iterable[Edge], weight: Optional[float] = None) -> None:
         for u, v in edges:
@@ -699,14 +708,18 @@ class DiGraph:
         return digest
 
     def copy(self) -> "DiGraph":
+        """Structural copy that carries over still-valid caches (see
+        :meth:`Graph.copy`; all DiGraph caches are plain values, so every
+        populated entry is shareable)."""
         g = DiGraph()
-        for v in self._succ:
-            g.add_vertex(v)
+        g._succ = {v: set(s) for v, s in self._succ.items()}
+        g._pred = {v: set(p) for v, p in self._pred.items()}
         g._vertex_weight = dict(self._vertex_weight)
-        for u, v in self.edges():
-            g.add_edge(u, v)
         g._edge_weight = dict(self._edge_weight)
-        g._dirty()  # weights were assigned behind the mutation API
+        for key in ("edge_weights", "content_hash"):
+            val = self._cache.get(key)
+            if val is not None:
+                g._cache[key] = val
         return g
 
     def to_undirected(self) -> Graph:

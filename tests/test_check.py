@@ -229,7 +229,8 @@ class TestCheckRegistry:
 
     def test_every_kind_present(self):
         kinds = {c.kind for c in CHECKS}
-        assert kinds == {"reference", "invariant", "paper", "congest"}
+        assert kinds == {"reference", "invariant", "paper", "congest",
+                         "family"}
 
     def test_paper_checks_not_shrinkable(self):
         for c in CHECKS:

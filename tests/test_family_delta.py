@@ -1,0 +1,196 @@
+"""Skeleton/delta incremental builds: equivalence, caching, sweeps."""
+
+import random
+
+import pytest
+
+from repro.cc.functions import random_input_pairs
+from repro.check.family_check import check_family_delta, migrated_families
+from repro.core.family import (
+    FamilyValidationError,
+    IffReport,
+    pair_repro_command,
+    sweep,
+    verify_iff,
+)
+from repro.core.kmds import KMdsFamily
+from repro.core.mds import MdsFamily
+
+
+def _pairs(fam, n, seed=0xBEEF):
+    return random_input_pairs(fam.k_bits, n, random.Random(seed))
+
+
+# ----------------------------------------------------------------------
+# delta builds == scratch builds, for every migrated family
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,fam", migrated_families(),
+                         ids=[n for n, _ in migrated_families()])
+def test_delta_equals_scratch(name, fam):
+    for x, y in _pairs(fam, 2):
+        assert fam.build(x, y).content_hash() == \
+            fam.build_scratch(x, y).content_hash()
+
+
+def test_check_family_delta_green():
+    assert check_family_delta(0, 0) is None
+
+
+def test_mutating_a_built_copy_never_corrupts_the_skeleton():
+    fam = MdsFamily(2)
+    (x, y), = _pairs(fam, 1)
+    want = fam.build_scratch(x, y).content_hash()
+    g = fam.build(x, y)
+    g.add_vertex(g.vertices()[0], weight=99.0)     # weight-only mutation
+    g.add_vertex(("mutant", 0))                    # structural mutation
+    g.add_edge(("mutant", 0), ("mutant", 1))
+    assert g.content_hash() != want
+    assert fam.build(x, y).content_hash() == want
+
+
+def test_skeleton_is_built_once_per_instance():
+    calls = []
+
+    class Counting(MdsFamily):
+        def build_skeleton(self):
+            calls.append(1)
+            return super().build_skeleton()
+
+    fam = Counting(2)
+    for x, y in _pairs(fam, 3):
+        fam.build(x, y)
+    assert len(calls) == 1
+    # build_scratch intentionally bypasses the store
+    x, y = _pairs(fam, 1)[0]
+    fam.build_scratch(x, y)
+    assert len(calls) == 2
+
+
+def test_kmds_bespoke_template_is_gone():
+    from repro.covering import build_covering_collection
+
+    cc = build_covering_collection(universe_size=16, T=6, r=2, seed=0)
+    fam = KMdsFamily(cc, k=2)
+    assert not hasattr(fam, "_fixed")
+    g1 = fam.fixed_graph()   # historical alias still works
+    g2 = fam.skeleton()
+    assert g1.content_hash() == g2.content_hash()
+    g1.add_vertex(("scribble",))
+    assert ("scribble",) not in g2
+
+
+# ----------------------------------------------------------------------
+# sweep(): memoization, deduplication, parallel equivalence
+# ----------------------------------------------------------------------
+def test_sweep_memoizes_per_instance():
+    calls = []
+
+    class Counting(MdsFamily):
+        def predicate(self, graph):
+            calls.append(1)
+            return super().predicate(graph)
+
+    fam = Counting(2)
+    pairs = _pairs(fam, 4)
+    first = sweep(fam, pairs + pairs[:2])   # in-batch duplicates too
+    assert len(calls) == 4
+    assert first.pairs == 6
+    assert first.unique_pairs == 4
+    assert first.memo_hits == 2
+    second = sweep(fam, pairs)
+    assert len(calls) == 4                  # all hits, nothing re-solved
+    assert second.memo_hits == 4
+    assert second.decisions == first.decisions[:4]
+
+
+def test_sweep_memo_false_still_dedupes_within_batch():
+    fam = MdsFamily(2)
+    pairs = _pairs(fam, 2)
+    report = sweep(fam, pairs + pairs, memo=False)
+    assert report.unique_pairs == 2
+    assert report.memo_hits == 2
+    assert not hasattr(fam, "_sweep_memo")
+
+
+def test_parallel_sweep_matches_serial():
+    pairs = _pairs(MdsFamily(2), 5)
+    serial = sweep(MdsFamily(2), pairs)
+    parallel = sweep(MdsFamily(2), pairs, jobs=2)
+    assert parallel.decisions == serial.decisions
+
+
+def test_verify_iff_report_identical_under_jobs():
+    pairs = _pairs(MdsFamily(2), 5)
+    serial = verify_iff(MdsFamily(2), pairs, negate=True)
+    parallel = verify_iff(MdsFamily(2), pairs, negate=True, jobs=2)
+    assert isinstance(serial, IffReport)
+    assert serial == parallel
+
+
+def test_unpicklable_family_falls_back_to_serial():
+    class Local(MdsFamily):  # local classes cannot be pickled
+        pass
+
+    fam = Local(2)
+    pairs = _pairs(fam, 3)
+    report = sweep(fam, pairs, jobs=2)
+    assert report.decisions == sweep(MdsFamily(2), pairs).decisions
+
+
+# ----------------------------------------------------------------------
+# verify_iff failure reporting
+# ----------------------------------------------------------------------
+class _BrokenMds(MdsFamily):
+    def predicate(self, graph):
+        return not super().predicate(graph)
+
+
+def test_verify_iff_collects_all_mismatches_with_repro_commands():
+    fam = _BrokenMds(2)
+    pairs = _pairs(fam, 4)
+    with pytest.raises(FamilyValidationError) as exc:
+        verify_iff(fam, pairs, negate=True)
+    message = str(exc.value)
+    assert "4 predicate mismatch(es)" in message
+    assert message.count("reproduce:") == 4
+    assert "python -m repro verify mds -k 2 --x " in message
+
+
+def test_pair_repro_command_without_cli_name():
+    fam = MdsFamily(2)
+    fam.cli_name = None
+    text = pair_repro_command(fam, (0,) * 4, (1,) * 4)
+    assert "no CLI repro available" in text
+
+
+def test_cli_single_pair_mode(capsys):
+    from repro.cli import main
+
+    main(["verify", "mds", "-k", "2", "--x", "0000", "--y", "0000"])
+    out = capsys.readouterr().out
+    assert "-> OK" in out
+    with pytest.raises(SystemExit):
+        main(["verify", "mds", "-k", "2", "--x", "01", "--y", "0000"])
+
+
+def test_cli_emitted_repro_command_runs(capsys):
+    fam = _BrokenMds(2)
+    with pytest.raises(FamilyValidationError) as exc:
+        verify_iff(fam, _pairs(fam, 1), negate=True)
+    line = next(l for l in str(exc.value).splitlines() if "reproduce:" in l)
+    argv = line.split("reproduce:")[1].split()[3:]  # drop "python -m repro"
+    from repro.cli import main
+    main(argv)  # the real family passes where the broken one failed
+    assert "-> OK" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# input validation stays intact
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,fam", migrated_families(),
+                         ids=[n for n, _ in migrated_families()])
+def test_bad_input_length_raises(name, fam):
+    with pytest.raises(ValueError):
+        fam.build((0,) * (fam.k_bits + 1), (0,) * fam.k_bits)
+    with pytest.raises(ValueError):
+        fam.build_scratch((0,) * fam.k_bits, (0,))
