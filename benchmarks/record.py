@@ -45,8 +45,19 @@ from typing import Callable, Dict, List
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+# delta/regression arithmetic shared with `repro report bench`, so the
+# CLI view and this gate can never disagree about what regressed
+from repro.obs.report.bench_view import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    bench_delta,
+    bench_rows,
+    format_entry,
+    latest_entry,
+    load_bench_history,
+)
+
 BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_simulator.json")
-REGRESSION_TOLERANCE = 0.25  # fail if p50 grows by more than this fraction
+REGRESSION_TOLERANCE = DEFAULT_TOLERANCE  # fail beyond this p50 growth
 
 
 def _cold_experiment(experiment_id: str) -> Callable[[], None]:
@@ -108,6 +119,71 @@ def _simulator_flood() -> None:
     assert sim.rounds >= 1
 
 
+#: lazily-built event corpus for the tracer write-path benches (one
+#: deterministic broadcast, recorded once and replayed per rep)
+_TRACE_EVENTS: List = []
+
+
+def _trace_event_corpus() -> List:
+    if not _TRACE_EVENTS:
+        import random
+
+        from repro.congest.model import CongestSimulator, NodeAlgorithm
+        from repro.graphs import random_graph
+        from repro.obs import RecordingTracer
+
+        class Broadcast(NodeAlgorithm):
+            """Every informed vertex rebroadcasts each round until a
+            fixed horizon — message-heavy, so tracer emit dominates."""
+
+            def __init__(self) -> None:
+                self.value = None
+                self.round_no = 0
+
+            def on_start(self, ctx):
+                if ctx.uid == 0:
+                    self.value = 7
+                    return {w: self.value for w in ctx.neighbors}
+                return {}
+
+            def on_round(self, ctx, messages):
+                self.round_no += 1
+                if self.value is None and messages:
+                    self.value = next(iter(messages.values()))
+                if self.round_no >= 20:
+                    ctx.halt(self.value)
+                    return {}
+                if self.value is not None:
+                    return {w: self.value for w in ctx.neighbors}
+                return {}
+
+        g = random_graph(200, 0.03, random.Random(0x7ACE))
+        rec = RecordingTracer()
+        CongestSimulator(g, tracer=rec).run(Broadcast)
+        _TRACE_EVENTS.extend(rec.events)
+    return _TRACE_EVENTS
+
+
+def _trace_emit(fmt: str) -> Callable[[], None]:
+    """Tracer write-path throughput: replay the pre-recorded broadcast
+    corpus through a file tracer.  The jsonl/binary pair documents the
+    binary format's speedup in the trajectory."""
+    def run() -> None:
+        import tempfile
+
+        from repro.obs import open_tracer
+
+        events = _trace_event_corpus()
+        with tempfile.TemporaryDirectory(prefix="bench-trace-") as tmp:
+            suffix = ".jsonl" if fmt == "jsonl" else ".rtb"
+            tracer = open_tracer(os.path.join(tmp, "t" + suffix), fmt=fmt)
+            emit = tracer.emit
+            for event in events:
+                emit(event)
+            tracer.close()
+    return run
+
+
 BENCHES: Dict[str, Callable[[], None]] = {
     # the two headline benches of the perf acceptance criteria
     "bench_congest_maxcut": _cold_experiment("E-T2.9-congest-maxcut"),
@@ -121,6 +197,9 @@ BENCHES: Dict[str, Callable[[], None]] = {
     # delta-build sweep vs the pre-delta scratch path (same workload)
     "bench_family_sweep": _family_sweep(scratch=False),
     "bench_family_sweep_scratch": _family_sweep(scratch=True),
+    # tracer write-path throughput, jsonl vs compact binary
+    "bench_trace_jsonl": _trace_emit("jsonl"),
+    "bench_trace_binary": _trace_emit("binary"),
 }
 
 QUICK_BENCHES = ("simulator_flood", "bench_family_sweep")
@@ -149,35 +228,24 @@ def time_bench(fn: Callable[[], None], reps: int) -> Dict[str, float]:
     }
 
 
-def load_history() -> Dict[str, List[Dict]]:
-    if not os.path.exists(BENCH_FILE):
-        return {}
-    with open(BENCH_FILE) as fh:
-        return json.load(fh)
-
-
-def latest(history: Dict[str, List[Dict]], name: str) -> Dict:
-    entries = history.get(name) or []
-    return entries[-1] if entries else {}
-
-
 def compare_history(history: Dict[str, List[Dict]], names: List[str]) -> None:
-    """Print the last two recorded entries per bench — no benches run."""
+    """Print the last two recorded entries per bench — no benches run.
+
+    Same rows as ``repro report bench``, plain-text rather than
+    markdown (both sit on :func:`repro.obs.report.bench_rows`).
+    """
     print(f"{'bench':<34} {'previous':>16} {'latest':>16} {'delta':>8}")
-    for name in names:
-        entries = history.get(name) or []
-        if not entries:
-            print(f"{name:<34} {'-':>16} {'-':>16} {'(none)':>8}")
+    for row in bench_rows(history, names=names):
+        if not row["current"]:
+            print(f"{row['name']:<34} {'-':>16} {'-':>16} {'(none)':>8}")
             continue
-        cur = entries[-1]
-        cur_s = f"{cur['p50_ms']}ms@{cur.get('sha', '?')}"
-        if len(entries) < 2:
-            print(f"{name:<34} {'-':>16} {cur_s:>16} {'(new)':>8}")
+        cur_s = format_entry(row["current"])
+        if row["delta"] is None:
+            print(f"{row['name']:<34} {'-':>16} {cur_s:>16} {'(new)':>8}")
             continue
-        prev = entries[-2]
-        prev_s = f"{prev['p50_ms']}ms@{prev.get('sha', '?')}"
-        delta = (cur["p50_ms"] - prev["p50_ms"]) / prev["p50_ms"]
-        print(f"{name:<34} {prev_s:>16} {cur_s:>16} {delta:>+8.0%}")
+        prev_s = format_entry(row["previous"])
+        print(f"{row['name']:<34} {prev_s:>16} {cur_s:>16} "
+              f"{row['delta']:>+8.0%}")
 
 
 def main(argv=None) -> int:
@@ -205,7 +273,7 @@ def main(argv=None) -> int:
         names = args.only
     reps = args.reps if args.reps is not None else (3 if args.quick else 5)
 
-    history = load_history()
+    history = load_bench_history(BENCH_FILE)
     if args.compare:
         compare_history(history, names)
         return 0
@@ -216,10 +284,10 @@ def main(argv=None) -> int:
     print(f"{'bench':<34} {'p50 ms':>10} {'baseline':>10} {'delta':>8}")
     for name in names:
         result = time_bench(BENCHES[name], reps)
-        base = latest(history, name)
+        base = latest_entry(history, name)
         base_p50 = base.get("p50_ms")
-        if base_p50:
-            delta = (result["p50_ms"] - base_p50) / base_p50
+        delta = bench_delta(base, result)
+        if delta is not None:
             delta_s = f"{delta:+.0%}"
             if delta > REGRESSION_TOLERANCE:
                 regressions.append(

@@ -24,7 +24,8 @@ def check_congest_mds(graph: Graph) -> Optional[str]:
     from repro import solvers
     from repro.congest.algorithms.collect import CollectAndSolve
     from repro.congest.model import CongestSimulator
-    from repro.obs import Metrics, RecordingTracer
+    from repro.obs import Metrics, MultiTracer, RecordingTracer
+    from repro.obs.trace import default_tracer
 
     expected = len(solvers.min_dominating_set(graph))
 
@@ -33,7 +34,11 @@ def check_congest_mds(graph: Graph) -> Optional[str]:
         return len(ds), {uid: (uid in ds) for uid in gg.vertices()}
 
     tracer = RecordingTracer()
-    sim = CongestSimulator(graph, bandwidth_factor=40, tracer=tracer)
+    # inside a `repro check --trace-dir` region the ambient tracer also
+    # gets the stream, so the run lands on disk as well as in memory
+    ambient = default_tracer()
+    sink = tracer if ambient is None else MultiTracer([tracer, ambient])
+    sim = CongestSimulator(graph, bandwidth_factor=40, tracer=sink)
 
     def solver(n, edge_records, vertex_records):
         gg = Graph()

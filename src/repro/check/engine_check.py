@@ -58,10 +58,18 @@ def _collect_scenario():
 def _snapshot(graph: Graph, factory: Callable, inputs: Optional[Dict],
               engine: str, traced: bool) -> Dict[str, Any]:
     from repro.congest.model import CongestSimulator
-    from repro.obs import NullTracer, RecordingTracer
+    from repro.obs import MultiTracer, NullTracer, RecordingTracer
+    from repro.obs.trace import default_tracer
 
     tracer = RecordingTracer() if traced else NullTracer()
-    sim = CongestSimulator(graph, bandwidth_factor=40, tracer=tracer)
+    sink: Any = tracer
+    if traced:
+        # fan into the ambient tracer too, so `repro check --trace-dir`
+        # captures the engine-equivalence runs on disk
+        ambient = default_tracer()
+        if ambient is not None:
+            sink = MultiTracer([tracer, ambient])
+    sim = CongestSimulator(graph, bandwidth_factor=40, tracer=sink)
     outputs: Any = None
     error: Optional[str] = None
     try:

@@ -312,6 +312,9 @@ class CheckReport:
     checks_run: int = 0
     elapsed: float = 0.0
     failures: List[CheckFailure] = field(default_factory=list)
+    #: how many times each named check actually ran (sums to
+    #: ``checks_run``) — the coverage table ``repro report fuzz`` shows.
+    check_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -346,6 +349,7 @@ class CheckReport:
             "seed": self.seed, "cases": self.cases, "family": self.family,
             "deep": self.deep, "cases_run": self.cases_run,
             "checks_run": self.checks_run, "elapsed": self.elapsed,
+            "check_counts": dict(sorted(self.check_counts.items())),
             "ok": self.ok,
             "failures": [f.to_json() for f in self.failures],
         }
@@ -390,14 +394,15 @@ def _shrink_failure(check: Check, case: Case) -> Optional[Dict[str, Any]]:
 
 
 def _run_cases(cases: Sequence[Case],
-               do_shrink: bool = True) -> Tuple[int, List[CheckFailure]]:
-    checks_run = 0
+               do_shrink: bool = True,
+               ) -> Tuple[Dict[str, int], List[CheckFailure]]:
+    check_counts: Dict[str, int] = {}
     failures: List[CheckFailure] = []
     for case in cases:
         for check in CHECKS:
             if not check.applies(case):
                 continue
-            checks_run += 1
+            check_counts[check.name] = check_counts.get(check.name, 0) + 1
             detail = _run_one(check, case)
             if detail is None:
                 continue
@@ -408,34 +413,58 @@ def _run_cases(cases: Sequence[Case],
             if do_shrink:
                 failure.shrunk = _shrink_failure(check, case)
             failures.append(failure)
-    return checks_run, failures
+    return check_counts, failures
 
 
-def _parallel_worker(args: Tuple[int, str, List[Tuple[str, int]], bool, bool],
-                     ) -> Tuple[int, List[CheckFailure]]:
+def _run_cases_traced(cases: Sequence[Case], do_shrink: bool,
+                      trace_dir: Optional[str], trace_format: str,
+                      prefix: str,
+                      ) -> Tuple[Dict[str, int], List[CheckFailure]]:
+    """``_run_cases`` inside an ambient trace region when requested, so
+    every CONGEST simulator the checks construct streams its events to
+    ``trace_dir/<prefix>-NNNN.*``."""
+    if trace_dir is None:
+        return _run_cases(cases, do_shrink=do_shrink)
+    from repro.obs.trace import trace_to_directory
+    with trace_to_directory(trace_dir, prefix=prefix, fmt=trace_format):
+        return _run_cases(cases, do_shrink=do_shrink)
+
+
+def _parallel_worker(args: Tuple[int, str, List[Tuple[str, int]], bool, bool,
+                                 Optional[str], str, int],
+                     ) -> Tuple[Dict[str, int], List[CheckFailure]]:
     """Rebuild a chunk of cases from their keys and check them."""
-    seed, __, keys, deep, do_shrink = args
+    seed, __, keys, deep, do_shrink, trace_dir, trace_format, chunk_no = args
     cases = [make_case(seed, fam, idx, deep=deep) for fam, idx in keys]
     try:
-        return _run_cases(cases, do_shrink=do_shrink)
+        # per-chunk prefix: fork workers share the parent's cwd and the
+        # trace directory, so sequence numbers alone would collide
+        return _run_cases_traced(
+            cases, do_shrink, trace_dir, trace_format,
+            prefix=f"check-seed{seed}-w{chunk_no:02d}")
     except Exception:
         failure = CheckFailure(
             check="harness", family="-", index=-1, seed=seed,
             case_name=f"worker chunk {keys!r}",
             detail="EXCEPTION in check worker:\n" + traceback.format_exc())
-        return 0, [failure]
+        return {}, [failure]
 
 
 def run_check(seed: int = 0, cases: int = 50, family: str = "all",
               deep: bool = False, jobs: int = 1, do_shrink: bool = True,
-              report_dir: Optional[str] = None) -> CheckReport:
+              report_dir: Optional[str] = None,
+              trace_dir: Optional[str] = None,
+              trace_format: str = "binary") -> CheckReport:
     """Run the full differential harness; see the module docstring.
 
     ``jobs > 1`` fans case chunks over fork-based worker processes (the
     PR 2 runner's start-method machinery); results are deterministic and
     ordered regardless of ``jobs``.  ``report_dir`` additionally writes
     ``check-report.json`` and one ``failure-NNN.json`` per failure —
-    the artifacts the nightly deep-fuzz job uploads.
+    the artifacts the nightly deep-fuzz job uploads (render them with
+    ``repro report fuzz``).  ``trace_dir`` streams every CONGEST
+    simulator the checks construct to trace files there (compact binary
+    by default; ``trace_format="jsonl"`` for JSON lines).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -447,9 +476,10 @@ def run_check(seed: int = 0, cases: int = 50, family: str = "all",
     all_cases = generate_cases(seed, cases, family=family, deep=deep)
     report.cases_run = len(all_cases)
     if jobs == 1 or len(all_cases) <= 1:
-        checks_run, failures = _run_cases(all_cases, do_shrink=do_shrink)
-        report.checks_run += checks_run
-        report.failures.extend(failures)
+        counts, failures = _run_cases_traced(
+            all_cases, do_shrink, trace_dir, trace_format,
+            prefix=f"check-seed{seed}")
+        parts = [(counts, failures)]
     else:
         from concurrent import futures
         from repro.experiments.parallel import _mp_context
@@ -461,10 +491,15 @@ def run_check(seed: int = 0, cases: int = 50, family: str = "all",
                                          mp_context=ctx) as pool:
             parts = list(pool.map(
                 _parallel_worker,
-                [(seed, family, part, deep, do_shrink) for part in chunks]))
-        for checks_run, failures in parts:
-            report.checks_run += checks_run
-            report.failures.extend(failures)
+                [(seed, family, part, deep, do_shrink,
+                  trace_dir, trace_format, no)
+                 for no, part in enumerate(chunks)]))
+    for counts, failures in parts:
+        for name, count in counts.items():
+            report.check_counts[name] = \
+                report.check_counts.get(name, 0) + count
+        report.checks_run += sum(counts.values())
+        report.failures.extend(failures)
     report.elapsed = time.monotonic() - started
     if report_dir is not None:
         os.makedirs(report_dir, exist_ok=True)

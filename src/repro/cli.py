@@ -10,18 +10,26 @@ experiments [--full] [--only ID ...] [--trace-dir DIR] [--profile]
                       run the per-theorem experiments and print the table
 paper                 print the theorem-by-theorem coverage index
 check [--seed S] [--cases N] [--family F] [--deep] [--jobs N]
+      [--report-dir DIR] [--trace-dir DIR]
                       differential correctness harness: fuzz graphs,
                       cross-validate solvers against naive references and
                       metamorphic invariants, shrink failures to minimal
                       reproducers (see repro.check)
-report TRACE [--cut UIDS] [--edges N]
-                      render a JSONL simulator trace (see repro.obs) into
-                      a round-by-round summary
+report trace TRACE [--run N] [--cut UIDS] [--edges N]
+                      render a simulator trace (binary or JSONL,
+                      auto-detected) into a round-by-round summary;
+                      `report TRACE` is the legacy spelling
+report bench [FILE]   p50-per-SHA bench trajectory with deltas and
+                      regression flags (default: BENCH_simulator.json)
+report fuzz DIR       summarize a `check --report-dir` artifact dir
+report convert SRC DST
+                      convert a trace between JSONL and binary
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import Dict, Optional
@@ -155,7 +163,8 @@ def cmd_experiments(args: argparse.Namespace) -> None:
                       profile=args.profile,
                       jobs=args.jobs,
                       timeout=args.timeout,
-                      retries=args.retries)
+                      retries=args.retries,
+                      trace_format=args.trace_format)
     print(format_markdown(records))
     failed = [r.experiment_id for r in records if not r.passed]
     if failed:
@@ -168,28 +177,91 @@ def cmd_check(args: argparse.Namespace) -> None:
     report = run_check(seed=args.seed, cases=args.cases, family=args.family,
                        deep=args.deep, jobs=args.jobs,
                        do_shrink=not args.no_shrink,
-                       report_dir=args.report_dir)
+                       report_dir=args.report_dir,
+                       trace_dir=args.trace_dir,
+                       trace_format=args.trace_format)
     print(report.summary())
     if not report.ok:
         raise SystemExit(1)
 
 
-def cmd_report(args: argparse.Namespace) -> None:
-    from repro.obs import read_trace, render_report
+def _report_trace(path: str, args: argparse.Namespace) -> None:
+    from repro.obs import iter_trace, render_report
+    from repro.obs.binary import TraceFormatError
 
-    try:
-        events = read_trace(args.trace)
-    except OSError as exc:
-        raise SystemExit(f"cannot read trace {args.trace!r}: {exc}")
-    if not events:
-        raise SystemExit(f"trace {args.trace!r} contains no events")
     alice = None
     if args.cut:
         try:
             alice = {int(u) for u in args.cut.split(",") if u.strip()}
         except ValueError:
             raise SystemExit("--cut expects comma-separated integer uids")
-    print(render_report(events, alice_uids=alice, top_edges=args.edges))
+    try:
+        report = render_report(iter_trace(path), alice_uids=alice,
+                               top_edges=args.edges, run=args.run)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {path!r}: {exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"corrupt trace {path!r}: {exc}")
+    except ValueError as exc:
+        # render_report: empty trace, or --run beyond the last run
+        raise SystemExit(f"trace {path!r}: {exc}")
+    print(report)
+
+
+def _report_bench(args: argparse.Namespace) -> None:
+    from repro.obs.report import load_bench_history, render_bench_report
+
+    path = args.path or "BENCH_simulator.json"
+    history = load_bench_history(path)
+    if not history:
+        raise SystemExit(f"no bench history at {path!r} "
+                         "(run benchmarks/record.py --update)")
+    print(render_bench_report(history))
+
+
+def _report_fuzz(args: argparse.Namespace) -> None:
+    from repro.obs.report import render_fuzz_report
+
+    if args.path is None:
+        raise SystemExit("usage: repro report fuzz <report-dir>")
+    try:
+        print(render_fuzz_report(args.path))
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+
+
+def _report_convert(args: argparse.Namespace) -> None:
+    from repro.obs import convert_trace
+
+    if args.path is None or args.dst is None:
+        raise SystemExit("usage: repro report convert <src> <dst> "
+                         "(dst format inferred from extension: "
+                         ".jsonl → JSON lines, else binary)")
+    try:
+        out = convert_trace(args.path, args.dst)
+    except OSError as exc:
+        raise SystemExit(f"cannot convert {args.path!r}: {exc}")
+    print(f"wrote {out}")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    what = args.what
+    if what == "trace":
+        if args.path is None:
+            raise SystemExit("usage: repro report trace <trace-file>")
+        _report_trace(args.path, args)
+    elif what == "bench":
+        _report_bench(args)
+    elif what == "fuzz":
+        _report_fuzz(args)
+    elif what == "convert":
+        _report_convert(args)
+    else:
+        # legacy spelling: `repro report <trace-file>`
+        if args.path is not None:
+            raise SystemExit(f"unknown report view {what!r}; expected "
+                             "trace, bench, fuzz, or convert")
+        _report_trace(what, args)
 
 
 def main(argv: Optional[list] = None) -> None:
@@ -222,7 +294,12 @@ def main(argv: Optional[list] = None) -> None:
     p.add_argument("--full", action="store_true")
     p.add_argument("--only", nargs="*", default=None)
     p.add_argument("--trace-dir", default=None, metavar="DIR",
-                   help="write one JSONL simulator trace per CONGEST run")
+                   help="write one simulator trace per CONGEST run "
+                        "(compact binary by default; see --trace-format)")
+    p.add_argument("--trace-format", choices=("binary", "jsonl"),
+                   default="binary",
+                   help="trace file format for --trace-dir "
+                        "(default: binary)")
     p.add_argument("--profile", action="store_true",
                    help="record exact-solver wall-clock/call-count profile "
                         "(and cache hit/miss counters) in each record")
@@ -267,11 +344,40 @@ def main(argv: Optional[list] = None) -> None:
                    help="report failures without minimising them")
     p.add_argument("--report-dir", default=None, metavar="DIR",
                    help="write check-report.json and one JSON reproducer "
-                        "per failure to DIR")
+                        "per failure to DIR (render with `repro report "
+                        "fuzz DIR`)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write one simulator trace per CONGEST run the "
+                        "checks perform")
+    p.add_argument("--trace-format", choices=("binary", "jsonl"),
+                   default="binary",
+                   help="trace file format for --trace-dir "
+                        "(default: binary)")
 
-    p = sub.add_parser("report", help="render a JSONL simulator trace")
-    p.add_argument("trace", help="path to a trace written by JsonlTracer "
-                                 "or --trace-dir")
+    p = sub.add_parser(
+        "report",
+        help="analytics studio: render traces, bench trajectory, "
+             "fuzz artifacts",
+        description="Views: `report trace FILE` renders a simulator "
+                    "trace (binary or JSONL, auto-detected); `report "
+                    "bench [FILE]` renders the p50-per-SHA trajectory "
+                    "from BENCH_simulator.json; `report fuzz DIR` "
+                    "summarizes a `check --report-dir` directory; "
+                    "`report convert SRC DST` converts a trace between "
+                    "formats.  `report FILE` (no view keyword) is the "
+                    "legacy spelling of `report trace FILE`.")
+    p.add_argument("what", metavar="VIEW",
+                   help="trace | bench | fuzz | convert, or directly a "
+                        "trace path (legacy)")
+    p.add_argument("path", nargs="?", default=None,
+                   help="trace file / bench history / fuzz report dir / "
+                        "conversion source, per the view")
+    p.add_argument("dst", nargs="?", default=None,
+                   help="destination path (convert view only; format "
+                        "inferred from extension)")
+    p.add_argument("--run", type=int, default=None, metavar="N",
+                   help="restrict the trace view to the N-th run "
+                        "(1-based) of a multi-run trace")
     p.add_argument("--cut", default=None, metavar="UIDS",
                    help="comma-separated Alice-side uids: adds Theorem 1.1 "
                         "cut-bit accounting")
@@ -279,15 +385,22 @@ def main(argv: Optional[list] = None) -> None:
                    help="how many busiest edges to list (default 5)")
 
     args = parser.parse_args(argv)
-    {
-        "families": cmd_families,
-        "describe": cmd_describe,
-        "verify": cmd_verify,
-        "experiments": cmd_experiments,
-        "paper": cmd_paper,
-        "check": cmd_check,
-        "report": cmd_report,
-    }[args.command](args)
+    try:
+        {
+            "families": cmd_families,
+            "describe": cmd_describe,
+            "verify": cmd_verify,
+            "experiments": cmd_experiments,
+            "paper": cmd_paper,
+            "check": cmd_check,
+            "report": cmd_report,
+        }[args.command](args)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # reader (head, a pager) went away mid-output: exit quietly, and
+        # point stdout at devnull so interpreter shutdown stays silent
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)
 
 
 if __name__ == "__main__":  # pragma: no cover

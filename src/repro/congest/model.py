@@ -22,6 +22,7 @@ Design notes
 from __future__ import annotations
 
 import math
+import os
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.graphs import DiGraph, Graph, Vertex, label_sort_key
@@ -179,14 +180,17 @@ class CongestSimulator:
         graph: Union[Graph, DiGraph],
         bandwidth: Optional[float] = None,
         bandwidth_factor: int = 8,
-        tracer: Optional["Tracer"] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         """``bandwidth=None`` selects the standard CONGEST
         ``bandwidth_factor·log2 n`` bits; ``math.inf`` gives the LOCAL
         model (no bound, sizes still accounted).  ``tracer=None``
         consults the ambient :func:`repro.obs.trace.default_tracer`
         (active inside ``trace_to_directory`` regions); pass
-        ``NullTracer()`` to force tracing off."""
+        ``NullTracer()`` to force tracing off.  A ``str``/path tracer
+        opens a file tracer at that path via
+        :func:`repro.obs.trace.open_tracer` (format inferred from the
+        extension: ``.jsonl`` → JSON lines, else compact binary)."""
         self.graph = graph
         base = graph.to_undirected() if isinstance(graph, DiGraph) else graph
         self._base = base
@@ -203,6 +207,9 @@ class CongestSimulator:
         if tracer is None:
             from repro.obs.trace import default_tracer
             tracer = default_tracer()
+        elif isinstance(tracer, (str, os.PathLike)):
+            from repro.obs.trace import open_tracer
+            tracer = open_tracer(tracer)
         self.tracer = tracer
         #: the active event sink during :meth:`run` (tracer + observer
         #: adapter), or ``None`` when tracing is fully disabled.

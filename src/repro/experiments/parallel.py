@@ -65,7 +65,7 @@ def _mp_context():
 
 
 def _worker(experiment_id: str, quick: bool, trace_dir: Optional[str],
-            profile: bool, cache_enabled: bool,
+            profile: bool, trace_format: str, cache_enabled: bool,
             cache_dir: Optional[str]) -> ExperimentRecord:
     """Process-pool entry point: run one experiment, never raise.
 
@@ -76,7 +76,8 @@ def _worker(experiment_id: str, quick: bool, trace_dir: Optional[str],
     solver_cache.configure(enabled=cache_enabled, cache_dir=cache_dir)
     try:
         return run_experiment(experiment_id, quick=quick,
-                              trace_dir=trace_dir, profile=profile)
+                              trace_dir=trace_dir, profile=profile,
+                              trace_format=trace_format)
     except Exception:
         return ExperimentRecord(
             experiment_id=experiment_id,
@@ -135,7 +136,8 @@ def _terminate(executor: futures.ProcessPoolExecutor) -> None:
 
 
 def _run_isolated(experiment_id: str, quick: bool, trace_dir: Optional[str],
-                  profile: bool, cache_cfg: Tuple[bool, Optional[str]],
+                  profile: bool, trace_format: str,
+                  cache_cfg: Tuple[bool, Optional[str]],
                   timeout: Optional[float], retries: int, ctx,
                   first_error: Optional[BaseException]) -> ExperimentRecord:
     """Re-run one pool-breaking job alone, once per allowed retry."""
@@ -145,7 +147,7 @@ def _run_isolated(experiment_id: str, quick: bool, trace_dir: Optional[str],
         executor = futures.ProcessPoolExecutor(max_workers=1, mp_context=ctx)
         try:
             fut = executor.submit(_worker, experiment_id, quick, trace_dir,
-                                  profile, *cache_cfg)
+                                  profile, trace_format, *cache_cfg)
             try:
                 return fut.result(timeout=timeout)
             except futures.TimeoutError:
@@ -167,7 +169,8 @@ def run_parallel(ids: Sequence[str],
                  timeout: Optional[float] = None,
                  retries: int = 1,
                  trace_dir: Optional[str] = None,
-                 profile: bool = False) -> List[ExperimentRecord]:
+                 profile: bool = False,
+                 trace_format: str = "binary") -> List[ExperimentRecord]:
     """Run ``ids`` over ``jobs`` worker processes; records in ``ids`` order.
 
     ``timeout`` is per-experiment wall clock in seconds (``None`` = no
@@ -203,7 +206,8 @@ def run_parallel(ids: Sequence[str],
                     eid = pending.popleft()
                     try:
                         fut = executor.submit(_worker, eid, quick, trace_dir,
-                                              profile, *cache_cfg)
+                                              profile, trace_format,
+                                              *cache_cfg)
                     except Exception:
                         pending.appendleft(eid)
                         broken = True
@@ -253,6 +257,6 @@ def run_parallel(ids: Sequence[str],
             _terminate(executor)
         for eid, exc in suspects:
             results[eid] = _run_isolated(eid, quick, trace_dir, profile,
-                                         cache_cfg, timeout, retries, ctx,
-                                         first_error=exc)
+                                         trace_format, cache_cfg, timeout,
+                                         retries, ctx, first_error=exc)
     return [results[eid] for eid in order]

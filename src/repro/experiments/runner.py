@@ -2,9 +2,11 @@
 
 Observability hooks: ``run_experiment(..., trace_dir=...)`` makes every
 CONGEST simulator constructed inside the experiment stream its events to
-``trace_dir/<experiment id>-NNNN.jsonl`` (render them with ``repro
-report``), and ``profile=True`` surfaces the exact-solver wall-clock /
-call-count profile through ``ExperimentRecord.measured["solver_profile"]``.
+``trace_dir/<experiment id>-NNNN.rtb`` — compact binary by default,
+``trace_format="jsonl"`` for JSON lines — render them with ``repro
+report trace``; and ``profile=True`` surfaces the exact-solver
+wall-clock / call-count profile through
+``ExperimentRecord.measured["solver_profile"]``.
 """
 
 from __future__ import annotations
@@ -61,7 +63,8 @@ def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
 
 def run_experiment(experiment_id: str, quick: bool = True,
                    trace_dir: Optional[str] = None,
-                   profile: bool = False) -> ExperimentRecord:
+                   profile: bool = False,
+                   trace_format: str = "binary") -> ExperimentRecord:
     fn = EXPERIMENTS[experiment_id]
     if trace_dir is None and not profile:
         return fn(quick=quick)
@@ -79,7 +82,8 @@ def run_experiment(experiment_id: str, quick: bool = True,
     before = profile_stats() if profile else {}
     cache_before = solver_cache_stats() if profile else {}
     if trace_dir is not None:
-        with trace_to_directory(os.fspath(trace_dir), prefix=experiment_id):
+        with trace_to_directory(os.fspath(trace_dir), prefix=experiment_id,
+                                fmt=trace_format):
             record = fn(quick=quick)
     else:
         record = fn(quick=quick)
@@ -98,7 +102,8 @@ def run_all(quick: bool = True,
             profile: bool = False,
             jobs: int = 1,
             timeout: Optional[float] = None,
-            retries: int = 1) -> List[ExperimentRecord]:
+            retries: int = 1,
+            trace_format: str = "binary") -> List[ExperimentRecord]:
     """Run experiments and return their records in deterministic order.
 
     The order is always the request order (``only`` as given, else ids
@@ -114,9 +119,10 @@ def run_all(quick: bool = True,
         from repro.experiments.parallel import run_parallel
         return run_parallel(ids, quick=quick, jobs=jobs, timeout=timeout,
                             retries=retries, trace_dir=trace_dir,
-                            profile=profile)
+                            profile=profile, trace_format=trace_format)
     return [run_experiment(eid, quick=quick, trace_dir=trace_dir,
-                           profile=profile) for eid in ids]
+                           profile=profile, trace_format=trace_format)
+            for eid in ids]
 
 
 def format_markdown(records: List[ExperimentRecord]) -> str:

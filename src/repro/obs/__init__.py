@@ -8,14 +8,19 @@ Three layers:
   emits :class:`TraceEvent` records (round boundaries, every message
   with sender/receiver/bits, halts, bandwidth-check outcomes) into any
   :class:`Tracer`; :class:`NullTracer` makes the disabled path free.
+- :mod:`repro.obs.binary` — the compact binary trace format
+  (:class:`BinaryTracer` writer, mmap-backed streaming reader,
+  jsonl↔binary converter); :func:`iter_trace`/:func:`read_trace`
+  auto-detect either format by magic bytes.
 - :mod:`repro.obs.metrics` — aggregation.  :class:`Metrics` builds
   per-round and per-edge histograms; :class:`CutBitCounter` counts the
   bits crossing an Alice/Bob bipartition, the Theorem 1.1 quantity.
 - :mod:`repro.obs.profile` — wall-clock/call-count hooks on the exact
   solvers, surfaced through ``ExperimentRecord.measured``.
 
-``repro report <trace.jsonl>`` renders a trace into a round-by-round
-summary (see :mod:`repro.obs.report`).
+``repro report trace <trace>`` renders a trace into a round-by-round
+summary; ``repro report bench``/``repro report fuzz`` render the bench
+trajectory and fuzz artifacts (see :mod:`repro.obs.report`).
 """
 
 from repro.obs.trace import (
@@ -28,8 +33,17 @@ from repro.obs.trace import (
     Tracer,
     TracerBase,
     default_tracer,
+    iter_trace,
+    open_tracer,
     read_trace,
     trace_to_directory,
+)
+from repro.obs.binary import (
+    BinaryTracer,
+    TraceFormatError,
+    convert_trace,
+    iter_binary_trace,
+    sniff_format,
 )
 from repro.obs.metrics import (
     CutBitCounter,
@@ -51,7 +65,12 @@ from repro.obs.profile import (
     solver_cache_stats,
     top_profile,
 )
-from repro.obs.report import render_report
+from repro.obs.report import (
+    render_bench_report,
+    render_fuzz_report,
+    render_report,
+    select_run,
+)
 
 __all__ = [
     "TraceEvent",
@@ -60,10 +79,17 @@ __all__ = [
     "NullTracer",
     "RecordingTracer",
     "JsonlTracer",
+    "BinaryTracer",
     "MultiTracer",
     "ObserverTracer",
+    "TraceFormatError",
     "default_tracer",
+    "open_tracer",
+    "iter_trace",
+    "iter_binary_trace",
     "read_trace",
+    "convert_trace",
+    "sniff_format",
     "trace_to_directory",
     "Metrics",
     "RoundStats",
@@ -82,4 +108,7 @@ __all__ = [
     "diff_cache_stats",
     "format_cache_stats",
     "render_report",
+    "select_run",
+    "render_bench_report",
+    "render_fuzz_report",
 ]

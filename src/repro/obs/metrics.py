@@ -103,12 +103,19 @@ class Metrics(TracerBase):
             rs = self.per_round[rnd] = RoundStats(rnd)
         return rs
 
+    def consume(self, events: Iterable[TraceEvent]) -> "Metrics":
+        """Feed any event iterable through :meth:`emit` — one pass,
+        O(rounds + edges) memory, so a lazy ``iter_trace`` stream over a
+        multi-million-event binary trace aggregates without ever being
+        materialised.  Returns ``self``."""
+        emit = self.emit
+        for event in events:
+            emit(event)
+        return self
+
     @classmethod
     def from_events(cls, events: Iterable[TraceEvent]) -> "Metrics":
-        metrics = cls()
-        for event in events:
-            metrics.emit(event)
-        return metrics
+        return cls().consume(events)
 
     # -- derived histograms ---------------------------------------------
     def round_numbers(self) -> List[int]:
@@ -192,12 +199,18 @@ class CutBitCounter(TracerBase):
         self.bits_by_round[rnd] = self.bits_by_round.get(rnd, 0) + bits
         self.messages_by_round[rnd] = self.messages_by_round.get(rnd, 0) + 1
 
+    def consume(self, events: Iterable[TraceEvent]) -> "CutBitCounter":
+        """One-pass aggregation over any event iterable (O(rounds)
+        memory); returns ``self``."""
+        emit = self.emit
+        for event in events:
+            emit(event)
+        return self
+
 
 def cut_bits_from_events(events: Iterable[TraceEvent],
                          alice_uids: Iterable[int]) -> CutBitCounter:
     """Replay ``events`` through a :class:`CutBitCounter` (offline use:
-    recorded traces, JSONL files loaded with ``read_trace``)."""
-    counter = CutBitCounter(alice_uids)
-    for event in events:
-        counter.emit(event)
-    return counter
+    recorded traces, files streamed with ``iter_trace`` or loaded with
+    ``read_trace``)."""
+    return CutBitCounter(alice_uids).consume(events)

@@ -1,0 +1,132 @@
+"""Bench-trajectory view over ``BENCH_simulator.json``.
+
+``benchmarks/record.py`` appends one ``{sha, date, p50_ms, min_ms,
+reps}`` entry per bench per ``--update`` run; this module turns that
+history into the ``repro report bench`` markdown table and supplies
+the shared delta/regression arithmetic that ``record.py --compare``
+and the CI regression gate use, so the CLI view and the gate can never
+disagree about what counts as a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "load_bench_history",
+    "latest_entry",
+    "bench_delta",
+    "bench_rows",
+    "format_entry",
+    "render_bench_report",
+]
+
+#: Fractional p50 growth beyond which a bench counts as regressed —
+#: the same tolerance ``benchmarks/record.py`` fails CI on.
+DEFAULT_TOLERANCE = 0.25
+
+History = Dict[str, List[Dict[str, Any]]]
+
+
+def load_bench_history(path: Any) -> History:
+    """Load a ``BENCH_simulator.json`` history ({} when absent)."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return {}
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def latest_entry(history: History, name: str) -> Dict[str, Any]:
+    """The most recent recorded entry for ``name`` ({} when none)."""
+    entries = history.get(name) or []
+    return entries[-1] if entries else {}
+
+
+def bench_delta(previous: Dict[str, Any],
+                current: Dict[str, Any]) -> Optional[float]:
+    """Fractional p50 change between two entries (None when either
+    side is missing its p50)."""
+    prev_p50 = previous.get("p50_ms")
+    cur_p50 = current.get("p50_ms")
+    if not prev_p50 or cur_p50 is None:
+        return None
+    return (cur_p50 - prev_p50) / prev_p50
+
+
+def format_entry(entry: Dict[str, Any]) -> str:
+    """``162.3ms@c16c231`` — how an entry prints in tables."""
+    if not entry:
+        return "-"
+    return f"{entry.get('p50_ms', '?')}ms@{entry.get('sha', '?')}"
+
+
+def bench_rows(history: History,
+               names: Optional[Sequence[str]] = None,
+               tolerance: float = DEFAULT_TOLERANCE) -> List[Dict[str, Any]]:
+    """One row per bench: latest entry, the one before it, the delta
+    between them, and the regression flag at ``tolerance``.
+
+    ``names`` restricts and orders the rows (default: every bench in
+    the history, sorted).
+    """
+    rows: List[Dict[str, Any]] = []
+    for name in (names if names is not None else sorted(history)):
+        entries = history.get(name) or []
+        current = entries[-1] if entries else {}
+        previous = entries[-2] if len(entries) > 1 else {}
+        delta = bench_delta(previous, current)
+        rows.append({
+            "name": name,
+            "entries": len(entries),
+            "previous": previous,
+            "current": current,
+            "delta": delta,
+            "regressed": delta is not None and delta > tolerance,
+        })
+    return rows
+
+
+def render_bench_report(history: History,
+                        names: Optional[Sequence[str]] = None,
+                        tolerance: float = DEFAULT_TOLERANCE) -> str:
+    """Markdown table of the per-SHA p50 trajectory with per-bench
+    deltas and regression flags (the ``repro report bench`` view)."""
+    rows = bench_rows(history, names=names, tolerance=tolerance)
+    lines = [
+        "# Bench trajectory (p50 per SHA)",
+        "",
+        f"- benches: {len(rows)}; regression tolerance: "
+        f"+{tolerance:.0%} p50 vs the previous entry",
+        "",
+        "| bench | p50 (latest) | previous | delta | entries | flag |",
+        "|---|---|---|---|---|---|",
+    ]
+    regressions = 0
+    for row in rows:
+        delta = row["delta"]
+        if delta is None:
+            delta_s = "(new)" if row["current"] else "(none)"
+        else:
+            delta_s = f"{delta:+.0%}"
+        if row["regressed"]:
+            flag = "**REGRESSION**"
+            regressions += 1
+        elif delta is None:
+            flag = "—"
+        elif delta < -0.05:
+            flag = "improved"
+        else:
+            flag = "ok"
+        lines.append(f"| {row['name']} | {format_entry(row['current'])} "
+                     f"| {format_entry(row['previous'])} | {delta_s} "
+                     f"| {row['entries']} | {flag} |")
+    lines.append("")
+    lines.append(f"{regressions} regression(s) beyond the "
+                 f"{tolerance:.0%} tolerance"
+                 if regressions else
+                 "no bench regressed beyond tolerance")
+    return "\n".join(lines)

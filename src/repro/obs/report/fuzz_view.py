@@ -1,0 +1,108 @@
+"""Fuzz-artifact view over a ``repro check --report-dir`` directory.
+
+The differential harness drops ``check-report.json`` (the
+``CheckReport.to_json()`` aggregate, including per-check run counts)
+plus one ``failure-NNN.json`` per failing check into the report
+directory — the artifacts the nightly deep-fuzz job uploads.  This
+module loads that directory back and renders it as the
+``repro report fuzz`` markdown summary: harness parameters, the
+per-check coverage table, and each failure with its one-line
+reproducer command and shrunk minimal instance.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List
+
+__all__ = ["load_fuzz_report", "render_fuzz_report"]
+
+
+def load_fuzz_report(report_dir: Any) -> Dict[str, Any]:
+    """Load ``check-report.json`` and every ``failure-NNN.json`` from a
+    ``repro check --report-dir`` directory.
+
+    Returns ``{"report": <aggregate dict>, "failures": [<dict>, ...]}``;
+    failures come from the individual artifacts when present (sorted by
+    filename), falling back to the aggregate's embedded list.  Raises
+    :class:`FileNotFoundError` when the directory holds no
+    ``check-report.json``.
+    """
+    report_dir = os.fspath(report_dir)
+    report_path = os.path.join(report_dir, "check-report.json")
+    if not os.path.exists(report_path):
+        raise FileNotFoundError(
+            f"no check-report.json in {report_dir!r} — is this a "
+            "`repro check --report-dir` output directory?")
+    with open(report_path) as fh:
+        report = json.load(fh)
+    failures: List[Dict[str, Any]] = []
+    for path in sorted(glob.glob(os.path.join(report_dir,
+                                              "failure-*.json"))):
+        with open(path) as fh:
+            failures.append(json.load(fh))
+    if not failures:
+        failures = list(report.get("failures") or [])
+    return {"report": report, "failures": failures}
+
+
+def _failure_lines(i: int, failure: Dict[str, Any]) -> List[str]:
+    lines = [
+        f"### {i}. `{failure.get('check', '?')}` on "
+        f"`{failure.get('case', '?')}`",
+        "",
+        f"- detail: {failure.get('detail', '?')}",
+        f"- reproduce: `{failure.get('repro', '?')}`",
+    ]
+    shrunk = failure.get("shrunk")
+    if shrunk:
+        g = shrunk.get("graph") or {}
+        edges = ", ".join(f"({e['u']},{e['v']})"
+                          for e in (g.get("edges") or [])[:12])
+        m = g.get("m", 0)
+        more = "" if m <= 12 else f" …(+{m - 12})"
+        lines.append(f"- shrunk to n={g.get('n', '?')} m={m}: "
+                     f"{edges}{more}")
+        lines.append(f"- shrunk detail: {shrunk.get('detail', '?')}")
+    lines.append("")
+    return lines
+
+
+def render_fuzz_report(report_dir: Any) -> str:
+    """Markdown summary of a fuzz report directory (the
+    ``repro report fuzz`` view)."""
+    loaded = load_fuzz_report(report_dir)
+    report = loaded["report"]
+    failures = loaded["failures"]
+    ok = report.get("ok", not failures)
+    lines = [
+        "# Differential-check fuzz report",
+        "",
+        f"- seed = {report.get('seed')}, family = `{report.get('family')}`"
+        f"{', deep' if report.get('deep') else ''}",
+        f"- cases run = {report.get('cases_run')}, "
+        f"checks run = {report.get('checks_run')}, "
+        f"elapsed = {report.get('elapsed', 0.0):.1f}s",
+        f"- verdict: {'**PASS**' if ok else '**FAIL**'} "
+        f"({len(failures)} failure(s))",
+        "",
+    ]
+    counts: Dict[str, int] = report.get("check_counts") or {}
+    if counts:
+        failed_by_check: Dict[str, int] = {}
+        for f in failures:
+            name = f.get("check", "?")
+            failed_by_check[name] = failed_by_check.get(name, 0) + 1
+        lines.extend(["## Checks", "",
+                      "| check | runs | failures |", "|---|---|---|"])
+        for name in sorted(counts):
+            lines.append(f"| `{name}` | {counts[name]} "
+                         f"| {failed_by_check.get(name, 0)} |")
+        lines.append("")
+    if failures:
+        lines.extend(["## Failures", ""])
+        for i, failure in enumerate(failures):
+            lines.extend(_failure_lines(i, failure))
+    return "\n".join(lines)

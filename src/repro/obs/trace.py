@@ -130,7 +130,12 @@ class RecordingTracer(TracerBase):
 
 
 class JsonlTracer(TracerBase):
-    """Streams events as JSON lines to ``path`` (or an open file)."""
+    """Streams events as JSON lines to ``path`` (or an open file).
+
+    The file is flushed on every ``run_end`` event, so traces from a
+    process killed between runs (timed-out fork-pool workers) keep
+    every completed run on disk.
+    """
 
     def __init__(self, path_or_file: Any) -> None:
         if hasattr(path_or_file, "write"):
@@ -145,6 +150,8 @@ class JsonlTracer(TracerBase):
     def emit(self, event: TraceEvent) -> None:
         self._file.write(event.to_json())
         self._file.write("\n")
+        if event.kind == "run_end":
+            self.flush()
 
     def flush(self) -> None:
         self._file.flush()
@@ -190,13 +197,72 @@ class ObserverTracer(TracerBase):
             self.callback(d["sender"], d["receiver"], d["bits"])
 
 
-def read_trace(path_or_file: Any) -> List[TraceEvent]:
-    """Load a JSONL trace written by :class:`JsonlTracer`."""
+def open_tracer(path: Any, fmt: Optional[str] = None) -> "TracerBase":
+    """Construct a file tracer for ``path``.
+
+    ``fmt`` is ``"jsonl"``, ``"binary"``, or ``None`` to infer from the
+    extension (``.jsonl``/``.json`` → JSONL, anything else → the
+    compact binary format of :mod:`repro.obs.binary`).
+    """
+    if fmt is None:
+        fmt = "jsonl" if str(path).endswith((".jsonl", ".json")) \
+            else "binary"
+    if fmt == "jsonl":
+        return JsonlTracer(path)
+    if fmt == "binary":
+        from repro.obs.binary import BinaryTracer
+        return BinaryTracer(path)
+    raise ValueError(f"unknown trace format {fmt!r}; "
+                     "expected 'jsonl' or 'binary'")
+
+
+def iter_trace(path_or_file: Any) -> Iterator[TraceEvent]:
+    """Lazily yield the events of a trace in either format.
+
+    The format is auto-detected by magic bytes: binary traces (see
+    :mod:`repro.obs.binary`) are streamed through an mmap-backed
+    reader, everything else is parsed as JSON lines.  File objects in
+    binary mode are sniffed the same way; text-mode file objects (and
+    any other iterable of lines) are treated as JSONL for backward
+    compatibility.  One pass, O(1) memory in the trace length.
+    """
+    from repro.obs.binary import MAGIC, _iter_buffer
+
     if hasattr(path_or_file, "read"):
-        lines: Iterable[str] = path_or_file
-        return [TraceEvent.from_json(ln) for ln in lines if ln.strip()]
-    with open(os.fspath(path_or_file), "r", encoding="utf-8") as fh:
-        return [TraceEvent.from_json(ln) for ln in fh if ln.strip()]
+        probe = path_or_file.read(0)
+        if isinstance(probe, bytes):
+            data = path_or_file.read()
+            if data[:len(MAGIC)] == MAGIC:
+                yield from _iter_buffer(memoryview(data))
+            else:
+                for ln in data.decode("utf-8").splitlines():
+                    if ln.strip():
+                        yield TraceEvent.from_json(ln)
+        else:
+            for ln in path_or_file:
+                if ln.strip():
+                    yield TraceEvent.from_json(ln)
+        return
+    path = os.fspath(path_or_file)
+    with open(path, "rb") as fh:
+        head = fh.read(len(MAGIC))
+    if head == MAGIC:
+        from repro.obs.binary import iter_binary_trace
+        yield from iter_binary_trace(path)
+        return
+    with open(path, "r", encoding="utf-8") as fh:
+        for ln in fh:
+            if ln.strip():
+                yield TraceEvent.from_json(ln)
+
+
+def read_trace(path_or_file: Any) -> List[TraceEvent]:
+    """Load a whole trace (JSONL or binary, auto-detected) as a list.
+
+    Prefer :func:`iter_trace` for large traces — it streams; this
+    materialises every event.
+    """
+    return list(iter_trace(path_or_file))
 
 
 # ----------------------------------------------------------------------
@@ -205,17 +271,23 @@ def read_trace(path_or_file: Any) -> List[TraceEvent]:
 # every simulator construction site.
 # ----------------------------------------------------------------------
 class _TraceDirectory:
-    def __init__(self, directory: str, prefix: str) -> None:
+    def __init__(self, directory: str, prefix: str,
+                 fmt: str = "binary") -> None:
+        if fmt not in ("jsonl", "binary"):
+            raise ValueError(f"unknown trace format {fmt!r}; "
+                             "expected 'jsonl' or 'binary'")
         self.directory = directory
         self.prefix = prefix
+        self.fmt = fmt
         self.seq = 0
-        self.tracers: List[JsonlTracer] = []
+        self.tracers: List[TracerBase] = []
 
-    def new_tracer(self) -> JsonlTracer:
+    def new_tracer(self) -> TracerBase:
         self.seq += 1
+        suffix = ".jsonl" if self.fmt == "jsonl" else ".rtb"
         path = os.path.join(self.directory,
-                            f"{self.prefix}-{self.seq:04d}.jsonl")
-        tracer = JsonlTracer(path)
+                            f"{self.prefix}-{self.seq:04d}{suffix}")
+        tracer = open_tracer(path, fmt=self.fmt)
         self.tracers.append(tracer)
         return tracer
 
@@ -229,7 +301,7 @@ _ACTIVE_TRACE_DIR: Optional[_TraceDirectory] = None
 
 def default_tracer() -> Optional[Tracer]:
     """The tracer a simulator should use when none is passed explicitly
-    (one fresh JSONL file per simulator inside an active
+    (one fresh trace file per simulator inside an active
     :func:`trace_to_directory` region; ``None`` otherwise)."""
     if _ACTIVE_TRACE_DIR is None:
         return None
@@ -238,13 +310,16 @@ def default_tracer() -> Optional[Tracer]:
 
 @contextmanager
 def trace_to_directory(directory: str,
-                       prefix: str = "trace") -> Iterator[str]:
+                       prefix: str = "trace",
+                       fmt: str = "binary") -> Iterator[str]:
     """Every simulator constructed inside the ``with`` block writes its
-    events to ``directory/<prefix>-NNNN.jsonl``.  Yields the directory."""
+    events to ``directory/<prefix>-NNNN.rtb`` (compact binary, the
+    default) or ``…-NNNN.jsonl`` with ``fmt="jsonl"``.  Yields the
+    directory."""
     global _ACTIVE_TRACE_DIR
     os.makedirs(directory, exist_ok=True)
     previous = _ACTIVE_TRACE_DIR
-    _ACTIVE_TRACE_DIR = _TraceDirectory(directory, prefix)
+    _ACTIVE_TRACE_DIR = _TraceDirectory(directory, prefix, fmt=fmt)
     try:
         yield directory
     finally:

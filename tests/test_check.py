@@ -158,6 +158,41 @@ class TestRunCheck:
         fanned = run_check(seed=2, cases=8, do_shrink=False, jobs=2)
         assert serial.ok and fanned.ok
         assert serial.checks_run == fanned.checks_run
+        assert serial.check_counts == fanned.check_counts
+
+    def test_check_counts_sum_to_checks_run(self):
+        report = run_check(seed=1, cases=4, do_shrink=False)
+        assert report.check_counts
+        assert sum(report.check_counts.values()) == report.checks_run
+        summary = report.to_json()
+        assert summary["check_counts"] == report.check_counts
+
+    def test_trace_dir_captures_congest_runs(self, tmp_path):
+        out = tmp_path / "traces"
+        report = run_check(seed=0, cases=3, family="er", do_shrink=False,
+                           trace_dir=str(out))
+        assert report.ok
+        traces = sorted(out.glob("check-seed0-*.rtb"))
+        assert traces, "check --trace-dir produced no binary traces"
+        from repro.obs import iter_trace
+        kinds = {e.kind for path in traces for e in iter_trace(path)}
+        assert {"run_start", "run_end"} <= kinds
+
+    def test_trace_dir_parallel_uses_chunk_prefixes(self, tmp_path):
+        out = tmp_path / "traces"
+        report = run_check(seed=0, cases=4, family="er", do_shrink=False,
+                           jobs=2, trace_dir=str(out))
+        assert report.ok
+        names = sorted(p.name for p in out.glob("*.rtb"))
+        assert names
+        assert all(n.startswith("check-seed0-w") for n in names)
+
+    def test_trace_dir_jsonl_format(self, tmp_path):
+        out = tmp_path / "traces"
+        run_check(seed=0, cases=2, family="er", do_shrink=False,
+                  trace_dir=str(out), trace_format="jsonl")
+        assert sorted(out.glob("*.jsonl")), "jsonl trace_format ignored"
+        assert not sorted(out.glob("*.rtb"))
 
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):

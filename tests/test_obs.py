@@ -169,11 +169,20 @@ class TestJsonlRoundTrip:
         assert "Busiest directed edges" in report
 
     def test_trace_to_directory_ambient(self, tmp_path):
-        with trace_to_directory(str(tmp_path), prefix="amb"):
+        with trace_to_directory(str(tmp_path), prefix="amb", fmt="jsonl"):
             run_traced_bfs(None)
             run_traced_bfs(None)
         files = sorted(p.name for p in tmp_path.glob("amb-*.jsonl"))
         assert files == ["amb-0001.jsonl", "amb-0002.jsonl"]
+        events = read_trace(tmp_path / files[0])
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+
+    def test_trace_to_directory_defaults_to_binary(self, tmp_path):
+        with trace_to_directory(str(tmp_path), prefix="amb"):
+            run_traced_bfs(None)
+        files = sorted(p.name for p in tmp_path.glob("amb-*"))
+        assert files == ["amb-0001.rtb"]
         events = read_trace(tmp_path / files[0])
         assert events[0].kind == "run_start"
         assert events[-1].kind == "run_end"
@@ -322,11 +331,20 @@ class TestRunnerTraceDir:
         record = run_experiment("E-T1.1-simulation",
                                 trace_dir=str(tmp_path))
         assert record.passed
-        files = sorted(tmp_path.glob("E-T1.1-simulation-*.jsonl"))
+        files = sorted(tmp_path.glob("E-T1.1-simulation-*.rtb"))
         assert files
         events = read_trace(files[0])
         assert events[0].kind == "run_start"
         assert any(e.kind == "message" for e in events)
+
+    def test_experiment_trace_format_jsonl(self, tmp_path):
+        record = run_experiment("E-T1.1-simulation",
+                                trace_dir=str(tmp_path),
+                                trace_format="jsonl")
+        assert record.passed
+        files = sorted(tmp_path.glob("E-T1.1-simulation-*.jsonl"))
+        assert files
+        assert read_trace(files[0])[0].kind == "run_start"
 
 
 class TestReportCli:
