@@ -49,6 +49,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 # CLI view and this gate can never disagree about what regressed
 from repro.obs.report.bench_view import (  # noqa: E402
     DEFAULT_TOLERANCE,
+    BenchHistoryError,
     bench_delta,
     bench_rows,
     format_entry,
@@ -60,16 +61,25 @@ BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_simulator.json")
 REGRESSION_TOLERANCE = DEFAULT_TOLERANCE  # fail beyond this p50 growth
 
 
-def _cold_experiment(experiment_id: str) -> Callable[[], None]:
+def _cold_experiment(experiment_id: str,
+                     engine: str = None) -> Callable[[], None]:
     """The same workload the pytest benches time: one full (quick=False)
-    experiment pipeline, starting from a cold solver cache."""
+    experiment pipeline, starting from a cold solver cache.  ``engine``
+    pins the CONGEST round loop for the duration of the bench (default:
+    the process default)."""
     def run() -> None:
         from repro import solvers
+        from repro.congest.model import configure_engine
         from repro.experiments.runner import run_experiment
 
         solvers.clear_cache()
-        record = run_experiment(experiment_id, quick=False)
-        assert record.passed, record
+        previous = configure_engine(engine) if engine else None
+        try:
+            record = run_experiment(experiment_id, quick=False)
+            assert record.passed, record
+        finally:
+            if previous is not None:
+                configure_engine(previous)
     return run
 
 
@@ -101,22 +111,25 @@ def _family_sweep(scratch: bool) -> Callable[[], None]:
     return run
 
 
-def _simulator_flood() -> None:
+def _simulator_flood(engine: str = None) -> Callable[[], None]:
     """Pure engine throughput: flood-min-id on a fixed random graph.
 
     No exact solver involved, so this isolates the CONGEST round loop —
-    the bench the CI smoke job gates on.
+    the bench the CI smoke job gates on.  ``engine`` selects the round
+    loop under test.
     """
-    import random
+    def run() -> None:
+        import random
 
-    from repro.congest.algorithms.basic import FloodMinId
-    from repro.congest.model import CongestSimulator
-    from repro.graphs import random_graph
+        from repro.congest.algorithms.basic import FloodMinId
+        from repro.congest.model import CongestSimulator
+        from repro.graphs import random_graph
 
-    g = random_graph(64, 0.15, random.Random(0xBE))
-    sim = CongestSimulator(g)
-    sim.run(FloodMinId)
-    assert sim.rounds >= 1
+        g = random_graph(64, 0.15, random.Random(0xBE))
+        sim = CongestSimulator(g)
+        sim.run(FloodMinId, engine=engine)
+        assert sim.rounds >= 1
+    return run
 
 
 #: lazily-built event corpus for the tracer write-path benches (one
@@ -187,13 +200,17 @@ def _trace_emit(fmt: str) -> Callable[[], None]:
 BENCHES: Dict[str, Callable[[], None]] = {
     # the two headline benches of the perf acceptance criteria
     "bench_congest_maxcut": _cold_experiment("E-T2.9-congest-maxcut"),
+    # the same pipeline on the struct-of-arrays round loop
+    "bench_congest_maxcut_vectorized":
+        _cold_experiment("E-T2.9-congest-maxcut", engine="vectorized"),
     "bench_kmds": _cold_experiment("E-F6-T4.4-T4.5-kmds"),
     # the remaining simulator-heavy experiment benches
     "bench_universal_upper_bound": _cold_experiment("E-universal-upper-bound"),
     "bench_congest_local_separation":
         _cold_experiment("E-congest-local-separation"),
-    # pure simulator microbench (CI regression gate)
-    "simulator_flood": _simulator_flood,
+    # pure simulator microbenches per engine (CI regression gate)
+    "simulator_flood": _simulator_flood(),
+    "simulator_flood_vectorized": _simulator_flood(engine="vectorized"),
     # delta-build sweep vs the pre-delta scratch path (same workload)
     "bench_family_sweep": _family_sweep(scratch=False),
     "bench_family_sweep_scratch": _family_sweep(scratch=True),
@@ -202,7 +219,8 @@ BENCHES: Dict[str, Callable[[], None]] = {
     "bench_trace_binary": _trace_emit("binary"),
 }
 
-QUICK_BENCHES = ("simulator_flood", "bench_family_sweep")
+QUICK_BENCHES = ("simulator_flood", "simulator_flood_vectorized",
+                 "bench_family_sweep", "bench_congest_maxcut_vectorized")
 
 
 def git_sha() -> str:
@@ -262,6 +280,9 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", action="store_true",
                         help="print the delta between the last two "
                              "recorded entries per bench; runs nothing")
+    parser.add_argument("--file", default=BENCH_FILE,
+                        help="bench history file (default: "
+                             "BENCH_simulator.json at the repo root)")
     args = parser.parse_args(argv)
 
     names = list(QUICK_BENCHES) if args.quick else list(BENCHES)
@@ -273,8 +294,19 @@ def main(argv=None) -> int:
         names = args.only
     reps = args.reps if args.reps is not None else (3 if args.quick else 5)
 
-    history = load_bench_history(BENCH_FILE)
+    bench_file = args.file
+    try:
+        history = load_bench_history(bench_file)
+    except BenchHistoryError as exc:
+        # corrupt/empty/truncated history (e.g. a killed recorder):
+        # one-line nonzero exit instead of a raw json traceback
+        print(str(exc), file=sys.stderr)
+        return 1
     if args.compare:
+        if not history:
+            print(f"no bench history at {bench_file} "
+                  f"(run benchmarks/record.py --update)", file=sys.stderr)
+            return 1
         compare_history(history, names)
         return 0
     sha = git_sha()
@@ -304,10 +336,10 @@ def main(argv=None) -> int:
                 {"sha": sha, "date": today, **result})
 
     if args.update:
-        with open(BENCH_FILE, "w") as fh:
+        with open(bench_file, "w") as fh:
             json.dump(history, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"recorded under sha {sha} in {BENCH_FILE}")
+        print(f"recorded under sha {sha} in {bench_file}")
 
     if regressions:
         print("\nPERF REGRESSION:", file=sys.stderr)

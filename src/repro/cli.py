@@ -164,7 +164,8 @@ def cmd_experiments(args: argparse.Namespace) -> None:
                       jobs=args.jobs,
                       timeout=args.timeout,
                       retries=args.retries,
-                      trace_format=args.trace_format)
+                      trace_format=args.trace_format,
+                      engine=args.engine)
     print(format_markdown(records))
     failed = [r.experiment_id for r in records if not r.passed]
     if failed:
@@ -209,10 +210,16 @@ def _report_trace(path: str, args: argparse.Namespace) -> None:
 
 
 def _report_bench(args: argparse.Namespace) -> None:
-    from repro.obs.report import load_bench_history, render_bench_report
+    from repro.obs.report import (BenchHistoryError, load_bench_history,
+                                  render_bench_report)
 
     path = args.path or "BENCH_simulator.json"
-    history = load_bench_history(path)
+    try:
+        history = load_bench_history(path)
+    except BenchHistoryError as exc:
+        # corrupt/empty/truncated file: one-line nonzero exit, not a
+        # raw json traceback
+        raise SystemExit(str(exc))
     if not history:
         raise SystemExit(f"no bench history at {path!r} "
                          "(run benchmarks/record.py --update)")
@@ -323,6 +330,12 @@ def main(argv: Optional[list] = None) -> None:
                    help="fan each family's predicate sweep over N worker "
                         "processes (independent of --jobs; reports are "
                         "byte-identical to serial sweeps)")
+    p.add_argument("--engine", choices=("fast", "reference", "vectorized"),
+                   default=None,
+                   help="CONGEST round-loop engine for every simulator "
+                        "(default: the process default, \"fast\"); all "
+                        "engines are observably identical — see "
+                        "repro check congest:engine-equivalence")
 
     sub.add_parser("paper", help="theorem-by-theorem coverage index")
 

@@ -66,7 +66,8 @@ def _mp_context():
 
 def _worker(experiment_id: str, quick: bool, trace_dir: Optional[str],
             profile: bool, trace_format: str, cache_enabled: bool,
-            cache_dir: Optional[str]) -> ExperimentRecord:
+            cache_dir: Optional[str],
+            engine: Optional[str] = None) -> ExperimentRecord:
     """Process-pool entry point: run one experiment, never raise.
 
     Ordinary exceptions become FAIL records here so only genuine worker
@@ -77,7 +78,7 @@ def _worker(experiment_id: str, quick: bool, trace_dir: Optional[str],
     try:
         return run_experiment(experiment_id, quick=quick,
                               trace_dir=trace_dir, profile=profile,
-                              trace_format=trace_format)
+                              trace_format=trace_format, engine=engine)
     except Exception:
         return ExperimentRecord(
             experiment_id=experiment_id,
@@ -139,7 +140,8 @@ def _run_isolated(experiment_id: str, quick: bool, trace_dir: Optional[str],
                   profile: bool, trace_format: str,
                   cache_cfg: Tuple[bool, Optional[str]],
                   timeout: Optional[float], retries: int, ctx,
-                  first_error: Optional[BaseException]) -> ExperimentRecord:
+                  first_error: Optional[BaseException],
+                  engine: Optional[str] = None) -> ExperimentRecord:
     """Re-run one pool-breaking job alone, once per allowed retry."""
     detail = (f"worker process died ({first_error!r})"
               if first_error is not None else "worker process died")
@@ -147,7 +149,8 @@ def _run_isolated(experiment_id: str, quick: bool, trace_dir: Optional[str],
         executor = futures.ProcessPoolExecutor(max_workers=1, mp_context=ctx)
         try:
             fut = executor.submit(_worker, experiment_id, quick, trace_dir,
-                                  profile, trace_format, *cache_cfg)
+                                  profile, trace_format, *cache_cfg,
+                                  engine=engine)
             try:
                 return fut.result(timeout=timeout)
             except futures.TimeoutError:
@@ -170,14 +173,16 @@ def run_parallel(ids: Sequence[str],
                  retries: int = 1,
                  trace_dir: Optional[str] = None,
                  profile: bool = False,
-                 trace_format: str = "binary") -> List[ExperimentRecord]:
+                 trace_format: str = "binary",
+                 engine: Optional[str] = None) -> List[ExperimentRecord]:
     """Run ``ids`` over ``jobs`` worker processes; records in ``ids`` order.
 
     ``timeout`` is per-experiment wall clock in seconds (``None`` = no
     limit).  ``retries`` bounds how often a job whose worker *died* is
     re-attempted in isolation before it is recorded as a CRASH FAIL.
     Jobs that merely shared a pool with a dying worker are re-run
-    without burning their own retries.
+    without burning their own retries.  ``engine`` pins the CONGEST
+    round loop inside every worker.
     """
     order = list(ids)
     for eid in order:
@@ -207,7 +212,7 @@ def run_parallel(ids: Sequence[str],
                     try:
                         fut = executor.submit(_worker, eid, quick, trace_dir,
                                               profile, trace_format,
-                                              *cache_cfg)
+                                              *cache_cfg, engine=engine)
                     except Exception:
                         pending.appendleft(eid)
                         broken = True
@@ -258,5 +263,6 @@ def run_parallel(ids: Sequence[str],
         for eid, exc in suspects:
             results[eid] = _run_isolated(eid, quick, trace_dir, profile,
                                          trace_format, cache_cfg, timeout,
-                                         retries, ctx, first_error=exc)
+                                         retries, ctx, first_error=exc,
+                                         engine=engine)
     return [results[eid] for eid in order]

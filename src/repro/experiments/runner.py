@@ -64,7 +64,20 @@ def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
 def run_experiment(experiment_id: str, quick: bool = True,
                    trace_dir: Optional[str] = None,
                    profile: bool = False,
-                   trace_format: str = "binary") -> ExperimentRecord:
+                   trace_format: str = "binary",
+                   engine: Optional[str] = None) -> ExperimentRecord:
+    if engine is not None:
+        # pin the CONGEST round loop for every simulator the experiment
+        # constructs (they consult the process default), restoring the
+        # previous default afterwards
+        from repro.congest.model import configure_engine
+        previous = configure_engine(engine)
+        try:
+            return run_experiment(experiment_id, quick=quick,
+                                  trace_dir=trace_dir, profile=profile,
+                                  trace_format=trace_format)
+        finally:
+            configure_engine(previous)
     fn = EXPERIMENTS[experiment_id]
     if trace_dir is None and not profile:
         return fn(quick=quick)
@@ -103,7 +116,8 @@ def run_all(quick: bool = True,
             jobs: int = 1,
             timeout: Optional[float] = None,
             retries: int = 1,
-            trace_format: str = "binary") -> List[ExperimentRecord]:
+            trace_format: str = "binary",
+            engine: Optional[str] = None) -> List[ExperimentRecord]:
     """Run experiments and return their records in deterministic order.
 
     The order is always the request order (``only`` as given, else ids
@@ -112,16 +126,19 @@ def run_all(quick: bool = True,
     (``solver_profile`` / ``solver_cache`` under ``profile=True``).
     ``jobs > 1`` fans out over worker processes with per-experiment
     ``timeout`` seconds and ``retries`` bounded retries on worker death
-    (see :mod:`repro.experiments.parallel`).
+    (see :mod:`repro.experiments.parallel`).  ``engine`` pins the
+    CONGEST round loop for every simulator (in workers too).
     """
     ids = only if only is not None else sorted(EXPERIMENTS)
     if jobs and jobs > 1:
         from repro.experiments.parallel import run_parallel
         return run_parallel(ids, quick=quick, jobs=jobs, timeout=timeout,
                             retries=retries, trace_dir=trace_dir,
-                            profile=profile, trace_format=trace_format)
+                            profile=profile, trace_format=trace_format,
+                            engine=engine)
     return [run_experiment(eid, quick=quick, trace_dir=trace_dir,
-                           profile=profile, trace_format=trace_format)
+                           profile=profile, trace_format=trace_format,
+                           engine=engine)
             for eid in ids]
 
 

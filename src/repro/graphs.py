@@ -17,6 +17,7 @@ Both intentionally stay small and dependency-free; conversion helpers to
 from __future__ import annotations
 
 import hashlib
+from array import array
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, \
     Set, Tuple
 
@@ -86,65 +87,152 @@ def label_sort_key(v: Vertex) -> Tuple[str, str]:
     return sk
 
 
+class CSR:
+    """Compressed-sparse-row snapshot of a graph's adjacency.
+
+    The flat-array substrate every int-indexed hot path reads:
+    ``indptr`` (``n + 1`` offsets) and ``indices`` (neighbour indices,
+    sorted within each row) are stdlib ``array('q')`` buffers — compact,
+    picklable, and zero-copy viewable by numpy via the buffer protocol.
+    Vertices are indexed ``0..n-1`` in the owning graph's deterministic
+    insertion order; ``labels``/``index`` are the thin label view over
+    that index space.  Neighbour bitmasks (bit ``j`` of ``masks()[i]``
+    iff edge ``{i, j}``) are derived lazily and shared by every
+    consumer (:class:`GraphKernel`, :class:`repro.solvers._bitmask.
+    BitGraph`).
+
+    A ``CSR`` is an immutable snapshot: the owning graph drops its
+    cached instance on structural mutation and hands out a fresh one.
+    Edge weights live in the aligned array returned by
+    :meth:`Graph.csr_weights` (weight-only mutations invalidate that
+    array without touching the structure).
+    """
+
+    __slots__ = ("n", "labels", "index", "indptr", "indices", "_masks",
+                 "_adj_lists")
+
+    def __init__(self, labels: Tuple[Vertex, ...],
+                 index: Dict[Vertex, int],
+                 indptr: array, indices: array) -> None:
+        self.n = len(labels)
+        self.labels = labels
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self._masks: Optional[List[int]] = None
+        self._adj_lists: Optional[List[List[int]]] = None
+
+    @property
+    def m(self) -> int:
+        """Stored entries (2·edges for an undirected graph's CSR)."""
+        return len(self.indices)
+
+    def row(self, i: int) -> array:
+        """Neighbour indices of vertex ``i`` (ascending)."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def degree(self, i: int) -> int:
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def adjacency(self) -> List[List[int]]:
+        """Row slices materialised as lists (cached) — the layout the
+        pure-Python BFS loops iterate fastest."""
+        if self._adj_lists is None:
+            indptr, indices = self.indptr, self.indices
+            self._adj_lists = [list(indices[indptr[i]:indptr[i + 1]])
+                               for i in range(self.n)]
+        return self._adj_lists
+
+    def masks(self) -> List[int]:
+        """Per-vertex neighbour bitmasks (cached)."""
+        if self._masks is None:
+            out = []
+            indptr, indices = self.indptr, self.indices
+            for i in range(self.n):
+                m = 0
+                for j in indices[indptr[i]:indptr[i + 1]]:
+                    m |= 1 << j
+                out.append(m)
+            self._masks = out
+        return self._masks
+
+
+def _build_csr(adj: Dict[Vertex, Any], index: Dict[Vertex, int]) -> CSR:
+    """Construct the CSR arrays from a label-keyed adjacency mapping in
+    insertion order (``index`` must already map every label)."""
+    labels = tuple(adj)
+    indptr = array("q", [0])
+    indices = array("q")
+    for v in labels:
+        indices.extend(sorted(index[w] for w in adj[v]))
+        indptr.append(len(indices))
+    return CSR(labels, dict(index), indptr, indices)
+
+
 class GraphKernel:
-    """Int-indexed snapshot of a :class:`Graph` for hot loops.
+    """Int-indexed view of a :class:`Graph` for hot loops.
 
     Obtained via :meth:`Graph.kernel`.  Vertices are indexed ``0..n-1``
     in the graph's (deterministic) insertion order — the same order
     :class:`repro.solvers._bitmask.BitGraph` uses, so the two layers can
-    share adjacency data.  Everything beyond the index maps is built
-    lazily and cached: integer adjacency lists, neighbour bitmasks, and
-    single-source BFS rows (one list of hop distances per source,
-    ``-1`` marking unreachable).  The owning graph drops its kernel on
-    any mutation, so cached rows can never go stale; ``bfs_runs`` counts
-    actual BFS sweeps, letting tests assert work is *not* repeated.
+    share adjacency data.  The adjacency itself is read from the
+    graph's :class:`CSR` substrate (:meth:`Graph.csr`); on top of it
+    the kernel caches single-source BFS rows (one list of hop distances
+    per source, ``-1`` marking unreachable) and distance-k ball masks.
+    ``bfs_runs`` counts actual BFS sweeps, letting tests assert work is
+    *not* repeated.
+
+    The owning graph drops its kernel on any structural mutation, so a
+    *freshly obtained* kernel can never be stale.  A kernel object held
+    across a mutation, however, would silently serve a torn mix of
+    pre-/post-mutation data; every read therefore checks the graph's
+    generation stamp and raises :class:`GraphError` on stale use.
     """
 
-    __slots__ = ("vertices", "index", "n", "_adj_sets", "_adj_ints",
-                 "_masks", "_rows", "_balls", "bfs_runs")
+    __slots__ = ("vertices", "index", "n", "_graph", "_generation",
+                 "_csr", "_rows", "_balls", "bfs_runs")
 
     def __init__(self, graph: "Graph") -> None:
-        self.vertices: List[Vertex] = list(graph._adj)
-        self.index: Dict[Vertex, int] = {
-            v: i for i, v in enumerate(self.vertices)}
-        self.n = len(self.vertices)
-        self._adj_sets = graph._adj  # shared until the graph mutates
-        self._adj_ints: Optional[List[List[int]]] = None
-        self._masks: Optional[List[int]] = None
+        csr = graph.csr()
+        self._csr = csr
+        self.vertices: List[Vertex] = list(csr.labels)
+        self.index: Dict[Vertex, int] = csr.index
+        self.n = csr.n
+        self._graph = graph
+        self._generation = graph._generation
         self._rows: Dict[int, List[int]] = {}
         self._balls: Dict[int, List[int]] = {}
         self.bfs_runs = 0
 
+    def _fresh(self) -> None:
+        """Raise on any read after the owning graph structurally
+        mutated (the regression the generation stamp exists for)."""
+        if self._generation != self._graph._generation:
+            raise GraphError(
+                "stale GraphKernel: the owning graph was structurally "
+                "mutated after this kernel was obtained; call "
+                "graph.kernel() again for a fresh one")
+
     def adjacency(self) -> List[List[int]]:
         """Integer adjacency lists (sorted, so iteration order is
-        process-independent)."""
-        if self._adj_ints is None:
-            index = self.index
-            self._adj_ints = [
-                sorted(index[w] for w in self._adj_sets[v])
-                for v in self.vertices]
-        return self._adj_ints
+        process-independent); read straight from the CSR substrate."""
+        self._fresh()
+        return self._csr.adjacency()
 
     def neighbor_masks(self) -> List[int]:
         """Per-vertex neighbour sets as bitmasks (bit ``j`` of mask ``i``
-        iff edge ``{i, j}``)."""
-        if self._masks is None:
-            masks = [0] * self.n
-            for i, nbrs in enumerate(self.adjacency()):
-                m = 0
-                for j in nbrs:
-                    m |= 1 << j
-                masks[i] = m
-            self._masks = masks
-        return self._masks
+        iff edge ``{i, j}``); shared with the CSR substrate."""
+        self._fresh()
+        return self._csr.masks()
 
     def bfs_row(self, i: int) -> List[int]:
         """Hop distances from vertex index ``i`` (``-1`` = unreachable),
         computed once per source and cached."""
+        self._fresh()
         row = self._rows.get(i)
         if row is not None:
             return row
-        adj = self.adjacency()
+        adj = self._csr.adjacency()
         dist = [-1] * self.n
         dist[i] = 0
         frontier = [i]
@@ -171,6 +259,7 @@ class GraphKernel:
         built and the sweep stops as soon as the ball saturates.  Cached
         per ``k``.
         """
+        self._fresh()
         balls = self._balls.get(k)
         if balls is not None:
             return balls
@@ -224,14 +313,20 @@ class Graph:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._edge_weight: Dict[Edge, float] = {}
         self._vertex_weight: Dict[Vertex, float] = {}
-        #: derived-data cache (kernel, edge list, sorted vertices,
-        #: content hash, all-pairs distances); structural mutations clear
-        #: all of it, weight-only mutations clear just the entries that
-        #: depend on weights (see the _dirty* methods)
+        #: derived-data cache (CSR substrate, kernel, edge list, sorted
+        #: vertices, content hash, all-pairs distances); structural
+        #: mutations clear all of it, weight-only mutations clear just
+        #: the entries that depend on weights (see the _dirty* methods)
         self._cache: Dict[str, Any] = {}
+        #: structural generation stamp: bumped on every structural
+        #: mutation (never on weight-only changes, which leave all
+        #: adjacency-derived snapshots valid).  Kernels record the stamp
+        #: they were built against and refuse stale reads.
+        self._generation = 0
 
     def _dirty(self) -> None:
         """Invalidate every derived cache; called on structural mutation."""
+        self._generation += 1
         if self._cache:
             self._cache.clear()
 
@@ -246,6 +341,7 @@ class Graph:
         and everything adjacency-derived stay valid)."""
         self._cache.pop("content_hash", None)
         self._cache.pop("edge_weights", None)
+        self._cache.pop("csr_weights", None)
 
     def kernel(self) -> GraphKernel:
         """The cached int-indexed :class:`GraphKernel` for this graph's
@@ -254,6 +350,47 @@ class Graph:
         if kern is None:
             kern = self._cache["kernel"] = GraphKernel(self)
         return kern
+
+    def csr(self) -> CSR:
+        """The cached :class:`CSR` snapshot of the current adjacency.
+
+        Vertex ``i`` is the ``i``-th vertex in insertion order — the
+        same index space as :meth:`kernel` and
+        :class:`repro.solvers._bitmask.BitGraph`.  The snapshot is
+        immutable; a structural mutation drops it and the next call
+        rebuilds.
+        """
+        csr = self._cache.get("csr")
+        if csr is None:
+            index = {v: i for i, v in enumerate(self._adj)}
+            csr = self._cache["csr"] = _build_csr(self._adj, index)
+        return csr
+
+    def csr_weights(self) -> array:
+        """Edge weights aligned entry-for-entry with ``csr().indices``
+        (an ``array('d')``, default weight 1.0).  Cached separately from
+        the structure: weight-only mutations invalidate this array but
+        keep the structural snapshot."""
+        w = self._cache.get("csr_weights")
+        if w is None:
+            csr = self.csr()
+            index = csr.index
+            pair: Dict[Tuple[int, int], float] = {}
+            for (u, v), wt in self._edge_weight.items():
+                iu, iv = index[u], index[v]
+                pair[(iu, iv)] = wt
+                pair[(iv, iu)] = wt
+            if pair:
+                get = pair.get
+                indptr, indices = csr.indptr, csr.indices
+                w = array("d")
+                for i in range(csr.n):
+                    for j in indices[indptr[i]:indptr[i + 1]]:
+                        w.append(get((i, j), 1.0))
+            else:
+                w = array("d", [1.0]) * len(csr.indices)
+            self._cache["csr_weights"] = w
+        return w
 
     # ------------------------------------------------------------------
     # construction
@@ -464,12 +601,13 @@ class Graph:
         g._vertex_weight = dict(self._vertex_weight)
         g._edge_weight = dict(self._edge_weight)
         # Identical content means identical derived values, so the copy
-        # can share the read-only value caches.  The kernel must NOT be
-        # shared: it keeps a live reference to *this* graph's adjacency
-        # dicts, so a later mutation here would leak into the copy.
+        # can share the read-only value caches — including the CSR
+        # snapshot, which is immutable.  The kernel must NOT be shared:
+        # it stamps *this* graph's generation and holds its BFS caches,
+        # so each graph gets its own.
         cache = self._cache
         for key in ("sorted_vertices", "edges", "edge_weights",
-                    "all_pairs", "content_hash"):
+                    "csr", "csr_weights", "all_pairs", "content_hash"):
             val = cache.get(key)
             if val is not None:
                 g._cache[key] = val
@@ -596,10 +734,22 @@ class DiGraph:
         self._edge_weight: Dict[Edge, float] = {}
         self._vertex_weight: Dict[Vertex, float] = {}
         self._cache: Dict[str, Any] = {}
+        self._generation = 0
 
     def _dirty(self) -> None:
+        self._generation += 1
         if self._cache:
             self._cache.clear()
+
+    def csr(self) -> CSR:
+        """Cached :class:`CSR` snapshot of the *successor* adjacency
+        (row ``i`` lists out-neighbours; same index space contract as
+        :meth:`Graph.csr`)."""
+        csr = self._cache.get("csr")
+        if csr is None:
+            index = {v: i for i, v in enumerate(self._succ)}
+            csr = self._cache["csr"] = _build_csr(self._succ, index)
+        return csr
 
     def _dirty_vertex_weights(self) -> None:
         # Same invalidation classes as Graph: vertex-weight changes only
@@ -716,7 +866,7 @@ class DiGraph:
         g._pred = {v: set(p) for v, p in self._pred.items()}
         g._vertex_weight = dict(self._vertex_weight)
         g._edge_weight = dict(self._edge_weight)
-        for key in ("edge_weights", "content_hash"):
+        for key in ("csr", "edge_weights", "content_hash"):
             val = self._cache.get(key)
             if val is not None:
                 g._cache[key] = val

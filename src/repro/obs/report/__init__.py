@@ -11,6 +11,7 @@
 
 from repro.obs.report.bench_view import (
     DEFAULT_TOLERANCE,
+    BenchHistoryError,
     bench_delta,
     bench_rows,
     format_entry,
@@ -26,6 +27,7 @@ __all__ = [
     "select_run",
     "read_trace",
     "DEFAULT_TOLERANCE",
+    "BenchHistoryError",
     "load_bench_history",
     "latest_entry",
     "bench_delta",

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "BenchHistoryError",
     "load_bench_history",
     "latest_entry",
     "bench_delta",
@@ -31,13 +32,35 @@ DEFAULT_TOLERANCE = 0.25
 History = Dict[str, List[Dict[str, Any]]]
 
 
+class BenchHistoryError(ValueError):
+    """A bench-history file exists but cannot be read as a history
+    (empty, truncated — e.g. a killed recorder — or the wrong JSON
+    shape).  Callers turn this into a one-line nonzero exit instead of
+    a raw traceback."""
+
+
 def load_bench_history(path: Any) -> History:
-    """Load a ``BENCH_simulator.json`` history ({} when absent)."""
+    """Load a ``BENCH_simulator.json`` history ({} when absent).
+
+    Raises :class:`BenchHistoryError` when the file exists but is not
+    a valid ``{bench name: [entries...]}`` JSON document.
+    """
     path = os.fspath(path)
     if not os.path.exists(path):
         return {}
-    with open(path) as fh:
-        return json.load(fh)
+    try:
+        with open(path) as fh:
+            history = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BenchHistoryError(
+            f"bench history {path} is not valid JSON "
+            f"(empty or truncated recorder output?): {exc}") from exc
+    if not isinstance(history, dict) or not all(
+            isinstance(v, list) for v in history.values()):
+        raise BenchHistoryError(
+            f"bench history {path} has the wrong shape: expected "
+            f"{{bench name: [entries...]}}")
+    return history
 
 
 def latest_entry(history: History, name: str) -> Dict[str, Any]:

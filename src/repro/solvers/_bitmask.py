@@ -16,14 +16,14 @@ class BitGraph:
     """Adjacency-in-bitmask view of an undirected :class:`Graph`."""
 
     def __init__(self, graph: Graph) -> None:
-        # The graph kernel indexes vertices in the same (insertion)
+        # The CSR substrate indexes vertices in the same (insertion)
         # order this class always used, so its cached neighbour
         # bitmasks are reused directly instead of rebuilt per solver.
-        kern = graph.kernel()
-        self.vertices: List[Vertex] = list(kern.vertices)
-        self.index: Dict[Vertex, int] = dict(kern.index)
-        self.n = kern.n
-        self.adj: List[int] = list(kern.neighbor_masks())
+        csr = graph.csr()
+        self.vertices: List[Vertex] = list(csr.labels)
+        self.index: Dict[Vertex, int] = dict(csr.index)
+        self.n = csr.n
+        self.adj: List[int] = list(csr.masks())
         self.weights: List[float] = [graph.vertex_weight(v) for v in self.vertices]
         self.full_mask = (1 << self.n) - 1
 

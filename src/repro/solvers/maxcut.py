@@ -94,6 +94,131 @@ def max_cut_vectorized(graph: Graph, limit: int = 25) -> Tuple[float, List[Verte
     return best, side
 
 
+def _max_cut_mitm(graph: Graph) -> Tuple[float, List[Vertex]]:
+    """Exact max cut by meet-in-the-middle, bit-identical to the
+    enumeration paths it accelerates.
+
+    The ``n - 1`` free vertices (vertex ``n - 1`` is pinned to side 0)
+    are split into ``b`` low bits and ``h`` high bits; a side mask is
+    ``hi << b | lo``.  The cut value decomposes as
+
+        totals[hi, lo] = (cutL + SL)[lo] + (cutH + SH)[hi] - 2·Q[hi, lo]
+
+    where ``cutL``/``cutH`` are the within-block cuts (enumerated over
+    only ``2^b``/``2^h`` masks), ``SL``/``SH`` the linear cross terms
+    (``Σ w·a_i`` over cross edges; edges to the pinned vertex contribute
+    to ``SL``/``SH`` only), and ``Q`` the bilinear term ``Σ w·a_i·c_j``
+    — one BLAS matmul over the bit matrices.  Everything is held in
+    float64 whose values are integers below 2^53, so each total is
+    *exactly* the cut weight and comparisons agree bit-for-bit with the
+    incremental Gray-code walk and the chunked sweep.
+
+    Tie-breaking replicates the historical path for each size window:
+    for ``n <= 16`` the totals are permuted into Gray-visit order and
+    the first argmax taken (the Gray walk keeps the earliest strict
+    maximum, starting from mask 0 at value 0.0); for ``16 < n <= 25``
+    blocks of ascending masks are scanned with a strictly-greater
+    running best, matching :func:`max_cut_vectorized`.  Requires numpy
+    (raises ImportError otherwise) and integral weights (checked by the
+    caller).
+    """
+    import numpy as np
+
+    n = graph.n
+    bg = BitGraph(graph)
+    free = n - 1
+    b = (free + 1) // 2
+    L = 1 << b
+    h = free - b
+    H = 1 << h
+
+    low_edges: List[Tuple[int, int, float]] = []
+    high_edges: List[Tuple[int, int, float]] = []
+    sl = np.zeros(b)
+    sh = np.zeros(h)
+    W = np.zeros((h, b))
+    for u, v in graph.edges():
+        iu, iv = bg.index[u], bg.index[v]
+        if iu > iv:
+            iu, iv = iv, iu
+        w = graph.edge_weight(u, v)
+        if iv < b:
+            low_edges.append((iu, iv, w))
+        elif iu >= b:
+            # both high; vertex n-1 keeps its (pinned, all-zero) row
+            high_edges.append((iu - b, iv - b, w))
+        else:
+            sl[iu] += w
+            if iv < n - 1:
+                jv = iv - b
+                sh[jv] += w
+                W[jv, iu] += w
+            # an edge to the pinned vertex has c_j = 0: only its
+            # linear a_i term (already in sl) survives
+
+    def block_cuts(nbits: int, total: int, edges_local, pinned: bool):
+        masks = np.arange(total, dtype=np.int64)
+        rows = [((masks >> i) & 1).astype(np.float64)
+                for i in range(nbits)]
+        if pinned:
+            rows.append(np.zeros(total))
+        cuts = np.zeros(total)
+        for i, j, w in edges_local:
+            cuts += w * np.abs(rows[i] - rows[j])
+        bits = np.stack(rows[:nbits], axis=1) if nbits else \
+            np.zeros((total, 0))
+        return cuts, bits
+
+    cut_l, A = block_cuts(b, L, low_edges, False)
+    cut_h, C = block_cuts(h, H, high_edges, True)
+    low_totals = cut_l + A @ sl
+    high_totals = cut_h + C @ sh
+    CW = C @ W  # (H, b); Q[hi, lo] = (CW @ A.T)[hi, lo]
+
+    if free <= 20:
+        totals = (high_totals[:, None] + low_totals[None, :]
+                  - 2.0 * (CW @ A.T)).ravel()
+        if n <= 16:
+            # Gray-visit order: mask at step s is s ^ (s >> 1)
+            g = np.arange(1 << free, dtype=np.int64)
+            g ^= g >> 1
+            vals = totals[g]
+            idx = int(np.argmax(vals))
+            return float(vals[idx]), bg.unmask(int(g[idx]))
+        idx = int(np.argmax(totals))
+        return float(totals[idx]), bg.unmask(idx)
+
+    # large window: ascending blocks of hi rows, strictly-greater
+    # running best — the same first-argmax the chunked sweep computes
+    rows_per = max(1, _MAXCUT_CHUNK // L)
+    best = 0.0
+    best_mask = 0
+    have_best = False
+    for r0 in range(0, H, rows_per):
+        r1 = min(r0 + rows_per, H)
+        block = (high_totals[r0:r1, None] + low_totals[None, :]
+                 - 2.0 * (CW[r0:r1] @ A.T)).ravel()
+        idx = int(np.argmax(block))
+        value = float(block[idx])
+        if not have_best or value > best:
+            best = value
+            best_mask = r0 * L + idx
+            have_best = True
+    return best, bg.unmask(best_mask)
+
+
+def _integral_weights(graph: Graph) -> bool:
+    """True when every edge weight is integral with total magnitude
+    below 2^53 — the regime where float64 cut totals are exact and the
+    meet-in-the-middle path is bit-identical to enumeration."""
+    total = 0.0
+    for w in graph.edge_weights().values():
+        if not float(w).is_integer():
+            return False
+        total += abs(w)
+    return total < 2.0 ** 53
+
+
 @profiled
 @cached
 def max_cut(graph: Graph, limit: int = 28) -> Tuple[float, List[Vertex]]:
@@ -107,6 +232,11 @@ def max_cut(graph: Graph, limit: int = 28) -> Tuple[float, List[Vertex]]:
         raise ValueError(f"exact max-cut limited to {limit} vertices, got {n}")
     if n <= 1:
         return 0.0, []
+    if n <= 25 and _integral_weights(graph):
+        try:
+            return _max_cut_mitm(graph)
+        except ImportError:
+            pass  # no numpy: the enumeration paths below need nothing
     if 16 < n <= 25:
         try:
             return max_cut_vectorized(graph, limit=limit)

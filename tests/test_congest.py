@@ -332,3 +332,63 @@ class TestSimulatorDeterminism:
         h.add_edge(10, 100)
         h.add_edge(10, 2)
         assert CongestSimulator(h).labels == sim.labels
+
+    def test_edge_weights_order_is_uid_sorted(self):
+        # regression: edge_weights used to be built by iterating the
+        # neighbour *set*, so its dict order depended on PYTHONHASHSEED
+        g = Graph()
+        for a, b in [("gamma", "alpha"), ("gamma", "beta"),
+                     ("gamma", "delta"), ("alpha", "beta")]:
+            g.add_edge(a, b, weight=1.0)
+        orders = {}
+
+        class Capture(NodeAlgorithm):
+            def on_start(self, ctx):
+                orders[ctx.uid] = tuple(ctx.edge_weights)
+                ctx.halt(None)
+                return {}
+
+        CongestSimulator(g).run(Capture)
+        for uid, order in orders.items():
+            assert order == tuple(sorted(order))
+        sim = CongestSimulator(g)
+        for uid, order in orders.items():
+            label = sim.labels[uid]
+            assert set(order) == {sim.uid_of[w] for w in g.neighbors(label)}
+
+    def test_edge_weights_order_independent_of_hash_seed(self):
+        # the same capture, run in subprocesses under two different
+        # PYTHONHASHSEED values: the presented dict order must match
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.graphs import Graph\n"
+            "from repro.congest import CongestSimulator, NodeAlgorithm\n"
+            "g = Graph()\n"
+            "for a, b in [('gamma','alpha'),('gamma','beta'),\n"
+            "             ('gamma','delta'),('gamma','eps'),\n"
+            "             ('alpha','beta'),('delta','eps')]:\n"
+            "    g.add_edge(a, b)\n"
+            "orders = {}\n"
+            "class Capture(NodeAlgorithm):\n"
+            "    def on_start(self, ctx):\n"
+            "        orders[ctx.uid] = tuple(ctx.edge_weights)\n"
+            "        ctx.halt(None)\n"
+            "        return {}\n"
+            "CongestSimulator(g).run(Capture)\n"
+            "print(sorted(orders.items()))\n"
+        )
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "src"))
+        outs = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src, env.get("PYTHONPATH", "")) if p)
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]

@@ -1,11 +1,12 @@
-"""Property tests: the fast CONGEST engine is observably identical to
-the reference loop.
+"""Property tests: the fast and vectorized CONGEST engines are
+observably identical to the reference loop.
 
 The heavy lifting lives in :func:`repro.check.engine_check.
 check_engine_equivalence` (also registered in ``repro check``); here it
 is driven over the seeded fuzz families, plus direct assertions on the
 corners the ISSUE calls out — counter equality and the
-``BandwidthExceeded`` partial-counter contract.
+``BandwidthExceeded`` / non-neighbor ``ValueError`` partial-counter
+contracts on every engine, traced and untraced.
 """
 
 import pytest
@@ -13,15 +14,20 @@ import pytest
 from repro.check.engine_check import check_engine_equivalence
 from repro.check.fuzz import FAMILIES, make_case
 from repro.congest.model import (
+    ENGINES,
     BandwidthExceeded,
     CongestSimulator,
     NodeAlgorithm,
     cached_message_bits,
+    configure_engine,
+    default_engine,
     message_bits,
 )
 from repro.graphs import Graph, path_graph, random_graph
 
 SEED = 0xEE
+
+CANDIDATES = ("fast", "vectorized")
 
 
 @pytest.mark.parametrize("family", FAMILIES)
@@ -46,28 +52,78 @@ class _Overflow(NodeAlgorithm):
         return {}
 
 
-def _run_counters(graph, engine):
-    sim = CongestSimulator(graph, bandwidth_factor=40)
-    with pytest.raises(BandwidthExceeded):
-        sim.run(_Overflow, engine=engine)
+class _NonNeighbor(NodeAlgorithm):
+    """Floods uids once, then the min-uid node sends to a vertex it has
+    no edge to (uid n-1 is never a neighbor of uid 0 on a long path)."""
+
+    def on_start(self, ctx):
+        return {w: ctx.uid for w in ctx.neighbors}
+
+    def on_round(self, ctx, messages):
+        if ctx.uid == 0:
+            return {w: 1 for w in ctx.neighbors} | {ctx.n - 1: 1}
+        ctx.halt(None)
+        return {}
+
+
+def _run_counters(graph, engine, algorithm=_Overflow,
+                  error=BandwidthExceeded, traced=False):
+    from repro.obs import NullTracer, RecordingTracer
+
+    tracer = RecordingTracer() if traced else NullTracer()
+    sim = CongestSimulator(graph, bandwidth_factor=40, tracer=tracer)
+    with pytest.raises(error):
+        sim.run(algorithm, engine=engine)
     return (sim.rounds, sim.total_messages, sim.total_bits,
             sim.max_message_bits)
 
 
 class TestBandwidthPartialCounters:
-    def test_partial_counters_identical_across_engines(self):
+    @pytest.mark.parametrize("engine", CANDIDATES)
+    @pytest.mark.parametrize("traced", (False, True))
+    def test_partial_counters_identical_across_engines(self, engine, traced):
         g = path_graph(5)
-        assert _run_counters(g, "fast") == _run_counters(g, "reference")
+        assert _run_counters(g, engine, traced=traced) == \
+            _run_counters(g, "reference", traced=traced)
 
-    def test_partial_counters_include_offending_message(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_partial_counters_include_offending_message(self, engine):
         g = path_graph(3)
-        rounds, messages, bits, max_bits = _run_counters(g, "fast")
+        rounds, messages, bits, max_bits = _run_counters(g, engine)
         # round 0 floods 4 uid messages; round 1 checks the oversized
         # one (counted before the bandwidth check raises)
         assert rounds == 1
         assert messages == 5
         assert max_bits == 8 * 4096
         assert bits > 8 * 4096
+
+    @pytest.mark.parametrize("engine", CANDIDATES)
+    @pytest.mark.parametrize("traced", (False, True))
+    def test_non_neighbor_counters_identical(self, engine, traced):
+        g = path_graph(6)
+        assert (_run_counters(g, engine, _NonNeighbor, ValueError,
+                              traced=traced) ==
+                _run_counters(g, "reference", _NonNeighbor, ValueError,
+                              traced=traced))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_non_neighbor_counters_exclude_offender(self, engine):
+        g = path_graph(6)
+        rounds, messages, bits, max_bits = _run_counters(
+            g, engine, _NonNeighbor, ValueError)
+        # round 0 floods 10 uid messages; in round 1 uid 0's batch sends
+        # to its one real neighbor (counted) before the non-neighbor
+        # send raises (not counted)
+        assert rounds == 1
+        assert messages == 11
+
+    def test_vectorized_numpy_fallback_counters(self, monkeypatch):
+        from repro.congest import model
+
+        g = path_graph(5)
+        expected = _run_counters(g, "reference")
+        monkeypatch.setattr(model, "_np", None)
+        assert _run_counters(g, "vectorized") == expected
 
 
 class TestEngineApi:
@@ -76,19 +132,40 @@ class TestEngineApi:
         with pytest.raises(ValueError):
             sim.run(_Overflow, engine="turbo")
 
-    def test_counters_match_on_normal_run(self):
+    def test_configure_engine_sets_run_default(self):
+        from repro.congest.algorithms.basic import FloodMinId
+
+        assert default_engine() == "fast"
+        previous = configure_engine("vectorized")
+        try:
+            assert previous == "fast"
+            assert default_engine() == "vectorized"
+            sim = CongestSimulator(path_graph(4))
+            out = sim.run(FloodMinId)  # engine=None -> module default
+            assert out == {v: 0 for v in range(4)}
+        finally:
+            configure_engine(previous)
+        assert default_engine() == "fast"
+
+    def test_configure_engine_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            configure_engine("turbo")
+        assert default_engine() == "fast"
+
+    @pytest.mark.parametrize("engine", CANDIDATES)
+    def test_counters_match_on_normal_run(self, engine):
         import random
 
         from repro.congest.algorithms.basic import FloodMinId
 
         g = random_graph(12, 0.3, random.Random(3))
-        fast = CongestSimulator(g)
+        cand = CongestSimulator(g)
         ref = CongestSimulator(g)
-        out_fast = fast.run(FloodMinId, engine="fast")
+        out_cand = cand.run(FloodMinId, engine=engine)
         out_ref = ref.run(FloodMinId, engine="reference")
-        assert out_fast == out_ref
-        assert (fast.rounds, fast.total_messages, fast.total_bits,
-                fast.max_message_bits) == \
+        assert out_cand == out_ref
+        assert (cand.rounds, cand.total_messages, cand.total_bits,
+                cand.max_message_bits) == \
                (ref.rounds, ref.total_messages, ref.total_bits,
                 ref.max_message_bits)
 

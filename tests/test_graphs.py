@@ -381,3 +381,129 @@ class TestGraphKernel:
         h.set_vertex_weight(0, 4.0)
         assert h.content_hash() != g.content_hash()
         assert g.vertex_weight(0) == 1.0
+
+
+class TestStaleKernel:
+    """Regression: a kernel held across a structural mutation used to
+    alias the live adjacency and silently serve torn data; now every
+    read checks the generation stamp and raises."""
+
+    def test_reads_after_add_edge_raise(self):
+        g = path_graph(4)
+        kern = g.kernel()
+        kern.bfs_row(0)
+        g.add_edge(0, 3)
+        for read in (lambda: kern.bfs_row(0),
+                     lambda: kern.adjacency(),
+                     lambda: kern.neighbor_masks(),
+                     lambda: kern.ball_masks(1)):
+            with pytest.raises(GraphError, match="stale GraphKernel"):
+                read()
+
+    def test_remove_edge_and_vertex_stale_the_kernel(self):
+        g = path_graph(4)
+        kern = g.kernel()
+        g.remove_edge(0, 1)
+        with pytest.raises(GraphError):
+            kern.adjacency()
+        kern = g.kernel()
+        g.remove_vertex(3)
+        with pytest.raises(GraphError):
+            kern.bfs_row(0)
+
+    def test_weight_only_mutation_does_not_stale(self):
+        g = path_graph(4)
+        kern = g.kernel()
+        row = kern.bfs_row(0)
+        g.set_edge_weight(1, 2, 9.0)
+        g.set_vertex_weight(0, 2.0)
+        assert g.kernel() is kern
+        assert kern.bfs_row(0) == row
+
+    def test_fresh_kernel_after_mutation_works(self):
+        g = path_graph(4)
+        kern = g.kernel()
+        g.add_edge(0, 3)
+        with pytest.raises(GraphError):
+            kern.bfs_row(0)
+        fresh = g.kernel()
+        assert fresh is not kern
+        assert fresh.bfs_row(0) == [0, 1, 2, 1]
+
+
+class TestCsrSubstrate:
+    def test_structure_matches_adjacency(self):
+        g = Graph()
+        g.add_edge("b", "a")
+        g.add_edge("b", "c")
+        g.add_edge("a", "c")
+        csr = g.csr()
+        # labels/indices follow insertion order; rows are sorted
+        assert csr.labels == ("b", "a", "c")
+        assert csr.index == {"b": 0, "a": 1, "c": 2}
+        assert list(csr.indptr) == [0, 2, 4, 6]
+        assert [list(csr.row(i)) for i in range(csr.n)] == \
+            [[1, 2], [0, 2], [0, 1]]
+        assert csr.m == 2 * g.m
+        assert [csr.degree(i) for i in range(csr.n)] == [2, 2, 2]
+        assert csr.masks() == [0b110, 0b101, 0b011]
+
+    def test_cached_until_structural_mutation(self):
+        g = path_graph(5)
+        csr = g.csr()
+        assert g.csr() is csr
+        g.set_edge_weight(0, 1, 3.0)  # weight-only: structure survives
+        assert g.csr() is csr
+        g.add_edge(0, 4)
+        assert g.csr() is not csr
+
+    def test_csr_weights_aligned_and_invalidated(self):
+        g = path_graph(3)
+        g.set_edge_weight(1, 2, 5.0)
+        csr = g.csr()
+        w = g.csr_weights()
+        assert len(w) == len(csr.indices)
+        def weight(u, v):
+            i, j = csr.index[u], csr.index[v]
+            for k in range(csr.indptr[i], csr.indptr[i + 1]):
+                if csr.indices[k] == j:
+                    return w[k]
+            raise AssertionError("edge not in CSR")
+        assert weight(0, 1) == weight(1, 0) == 1.0
+        assert weight(1, 2) == weight(2, 1) == 5.0
+        assert g.csr_weights() is w
+        g.set_edge_weight(0, 1, 2.0)
+        w2 = g.csr_weights()
+        assert w2 is not w
+        assert g.csr() is csr  # structure cache untouched
+        i01 = csr.indptr[0]  # vertex 0's only neighbour is 1
+        assert w2[i01] == 2.0
+
+    def test_unweighted_fast_path(self):
+        g = cycle_graph(6)
+        w = g.csr_weights()
+        assert list(w) == [1.0] * (2 * g.m)
+
+    def test_copy_shares_csr_snapshot(self):
+        g = path_graph(4)
+        csr = g.csr()
+        w = g.csr_weights()
+        h = g.copy()
+        assert h.csr() is csr
+        assert h.csr_weights() is w
+        h.add_edge(0, 3)
+        assert h.csr() is not csr
+        assert g.csr() is csr  # original untouched
+
+    def test_digraph_csr_is_successor_based(self):
+        d = DiGraph()
+        d.add_edge("a", "b")
+        d.add_edge("a", "c")
+        d.add_edge("c", "a")
+        csr = d.csr()
+        assert csr.labels == ("a", "b", "c")
+        assert [list(csr.row(i)) for i in range(csr.n)] == \
+            [[1, 2], [], [0]]
+        assert d.csr() is csr
+        d.add_edge("b", "c")
+        assert d.csr() is not csr

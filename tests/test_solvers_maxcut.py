@@ -117,10 +117,30 @@ class TestDispatch:
             return real(graph, limit=limit)
 
         monkeypatch.setattr(mc, "max_cut_vectorized", spy)
+        # non-integral weights keep the meet-in-the-middle fast path out
+        # of the way, so the chunked sweep handles the window
+        monkeypatch.setattr(mc, "_integral_weights", lambda g: False)
         clear_cache()
         g = self._mid_size_graph()
         mc.max_cut(g, limit=20)
         assert captured["limit"] == 20
+
+    def test_mitm_handles_the_integral_window(self, monkeypatch):
+        """Integral weights dispatch to meet-in-the-middle, which must
+        agree with the chunked sweep it replaces."""
+        import repro.solvers.maxcut as mc
+        from repro.solvers import clear_cache
+
+        g = self._mid_size_graph()
+        expected = mc.max_cut_vectorized(g)
+
+        def unexpected(graph, limit=25):
+            raise AssertionError("integral window should use mitm")
+
+        monkeypatch.setattr(mc, "max_cut_vectorized", unexpected)
+        clear_cache()
+        assert mc.max_cut(g) == expected
+        clear_cache()
 
     def test_caller_limit_still_enforced(self):
         g = self._mid_size_graph()
