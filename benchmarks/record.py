@@ -111,6 +111,56 @@ def _family_sweep(scratch: bool) -> Callable[[], None]:
     return run
 
 
+#: lazily-warmed store directory shared by the resumed-sweep bench reps
+#: (populated by the first rep's cold pass, then every rep restores)
+_GRID_STORE: List[str] = []
+
+
+def _family_sweep_grid(resumed: bool) -> Callable[[], None]:
+    """A full 2^k_bits x 2^k_bits grid sweep of HamiltonianCycleFamily(2)
+    (256 pairs) through a :class:`SweepStore` — the ``verify --grid``
+    workload.
+
+    ``resumed=False`` decides the whole grid cold into a throwaway store
+    per rep; ``resumed=True`` sweeps against a store warmed once for the
+    process, so every decision is a disk restore.  The recorded pair
+    documents the cross-run memo-hit speedup of the result store.
+    """
+    def run() -> None:
+        import shutil
+        import tempfile
+
+        from repro import solvers
+        from repro.core.family import sweep
+        from repro.core.hamiltonian import HamiltonianCycleFamily
+        from repro.experiments.sweep_store import SweepStore
+
+        if not resumed:
+            solvers.clear_cache()  # cold means cold: no warm solver memo
+        fam = HamiltonianCycleFamily(2)
+        kb = fam.k_bits
+        pairs = [(tuple(int(b) for b in format(i, f"0{kb}b")),
+                  tuple(int(b) for b in format(j, f"0{kb}b")))
+                 for i in range(1 << kb) for j in range(1 << kb)]
+        if resumed:
+            if not _GRID_STORE:
+                warm = tempfile.mkdtemp(prefix="bench-sweep-store-")
+                sweep(HamiltonianCycleFamily(2), pairs,
+                      store=SweepStore(warm))
+                _GRID_STORE.append(warm)
+            report = sweep(fam, pairs, store=SweepStore(_GRID_STORE[0]))
+            assert report.store_hits == report.unique_pairs, report
+            assert report.solved == 0, report
+        else:
+            cold = tempfile.mkdtemp(prefix="bench-sweep-store-")
+            try:
+                report = sweep(fam, pairs, store=SweepStore(cold))
+                assert report.solved == report.unique_pairs, report
+            finally:
+                shutil.rmtree(cold, ignore_errors=True)
+    return run
+
+
 def _simulator_flood(engine: str = None) -> Callable[[], None]:
     """Pure engine throughput: flood-min-id on a fixed random graph.
 
@@ -214,13 +264,17 @@ BENCHES: Dict[str, Callable[[], None]] = {
     # delta-build sweep vs the pre-delta scratch path (same workload)
     "bench_family_sweep": _family_sweep(scratch=False),
     "bench_family_sweep_scratch": _family_sweep(scratch=True),
+    # full-grid sweep cold vs restored from the content-addressed store
+    "bench_family_sweep_grid": _family_sweep_grid(resumed=False),
+    "bench_family_sweep_resumed": _family_sweep_grid(resumed=True),
     # tracer write-path throughput, jsonl vs compact binary
     "bench_trace_jsonl": _trace_emit("jsonl"),
     "bench_trace_binary": _trace_emit("binary"),
 }
 
 QUICK_BENCHES = ("simulator_flood", "simulator_flood_vectorized",
-                 "bench_family_sweep", "bench_congest_maxcut_vectorized")
+                 "bench_family_sweep", "bench_congest_maxcut_vectorized",
+                 "bench_family_sweep_resumed")
 
 
 def git_sha() -> str:

@@ -128,6 +128,11 @@ def _family_delta(case: Case) -> Optional[str]:
     return check_family_delta(case.seed, case.index)
 
 
+def _sweep_store(case: Case) -> Optional[str]:
+    from repro.check.sweep_check import check_sweep_store
+    return check_sweep_store(case.seed, case.index)
+
+
 def _small(limit_n: int, limit_m: int = 10 ** 9,
            fuzz_only: bool = True) -> Callable[[Case], bool]:
     def applies(case: Case) -> bool:
@@ -266,6 +271,12 @@ def _build_checks() -> List[Check]:
         # independent of the fuzz graph (sweeps every migrated family on
         # seeded pairs); piggybacked on a couple of er cases per run
         Check("family:delta-equivalence", "family", _family_delta,
+              lambda c: c.family == "er" and c.index < 2, shrinkable=False),
+        # -- persistent sweep store vs fresh scratch decisions -------------
+        # independent of the fuzz graph (round-trips seeded families
+        # through a throwaway store); piggybacked on two er cases so the
+        # corruption path and both family parities get exercised per run
+        Check("sweep:store-equivalence", "family", _sweep_store,
               lambda c: c.family == "er" and c.index < 2, shrinkable=False),
     ]
     return checks

@@ -1,0 +1,71 @@
+"""Differential check: stored sweep decisions ≡ fresh scratch decisions.
+
+The sweep fabric persists predicate decisions in a content-addressed
+:class:`repro.experiments.sweep_store.SweepStore`; an exhaustive
+campaign then trusts restored entries without re-solving them.  This
+check pins that trust on seeded families: decisions written through the
+store, decisions restored by a *fresh* family instance, and
+from-scratch reference decisions (``build_scratch``, no memo, no store)
+must all agree — and a corrupted entry must degrade to a recompute that
+still agrees, never to a wrong answer or a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from typing import Optional
+
+
+def check_sweep_store(seed: int, index: int) -> Optional[str]:
+    """Fuzz the store round-trip on a seeded family; None means OK."""
+    from repro.cc.functions import random_input_pairs
+    from repro.core.family import sweep
+    from repro.core.maxcut import MaxCutFamily
+    from repro.core.mds import MdsFamily
+    from repro.experiments.sweep_store import SweepStore, family_key
+
+    rng = random.Random(f"repro-sweep-store:{seed}:{index}")
+    make = MdsFamily if index % 2 == 0 else MaxCutFamily
+    tmp = tempfile.mkdtemp(prefix="repro-sweep-check-")
+    try:
+        store = SweepStore(tmp)
+        fam = make(2)
+        pairs = random_input_pairs(fam.k_bits, 6, rng)
+        first = sweep(fam, pairs, store=store)
+
+        # ground truth: scratch builds, no memoization, no store
+        scratch = [fam.predicate(fam.build_scratch(x, y)) for x, y in pairs]
+        if first.decisions != scratch:
+            return (f"{make.__name__}: store-path decisions "
+                    f"{first.decisions} != scratch decisions {scratch}")
+
+        # a fresh instance must restore every unique pair from disk
+        fresh = make(2)
+        second = sweep(fresh, pairs, store=store)
+        if second.decisions != scratch:
+            return (f"{make.__name__}: restored decisions "
+                    f"{second.decisions} != scratch decisions {scratch}")
+        if second.store_hits != second.unique_pairs or second.solved != 0:
+            return (f"{make.__name__}: expected a pure-restore sweep, "
+                    f"got {second}")
+
+        # corrupt one stored entry: must recompute, not crash or lie
+        fdir = store.family_dir(family_key(fresh))
+        entries = sorted(f for f in os.listdir(fdir)
+                         if f.endswith(".json") and f != "meta.json")
+        with open(os.path.join(fdir, entries[0]), "w",
+                  encoding="utf-8") as fh:
+            fh.write('{"x": "01')  # truncated mid-write
+        third = sweep(make(2), pairs, store=store)
+        if third.decisions != scratch:
+            return (f"{make.__name__}: decisions after entry corruption "
+                    f"{third.decisions} != scratch decisions {scratch}")
+        if third.solved + third.store_hits != third.unique_pairs:
+            return (f"{make.__name__}: corrupt-entry sweep counters "
+                    f"inconsistent: {third}")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return None

@@ -6,6 +6,10 @@ families              list every lower-bound family with its parameters
 describe FAMILY [-k]  build one family and print its Definition 1.1 data
 verify FAMILY [-k] [--pairs N]
                       machine-check the family's iff-lemma on N input pairs
+verify FAMILY --grid [--store-dir DIR] [--expect-store-hits PCT]
+                      exhaustive 2^k x 2^k grid sweep through the
+                      persistent result store: coverage reporting,
+                      crash-resumable, repeat sweeps near-free
 experiments [--full] [--only ID ...] [--trace-dir DIR] [--profile]
                       run the per-theorem experiments and print the table
 paper                 print the theorem-by-theorem coverage index
@@ -109,6 +113,55 @@ def _parse_bits(text: str, k_bits: int, flag: str) -> tuple:
     return tuple(int(b) for b in text)
 
 
+def _grid_pairs(k_bits: int) -> list:
+    return [(tuple(int(b) for b in format(i, f"0{k_bits}b")),
+             tuple(int(b) for b in format(j, f"0{k_bits}b")))
+            for i in range(1 << k_bits) for j in range(1 << k_bits)]
+
+
+def _verify_grid(fam, args: argparse.Namespace) -> None:
+    """``verify --grid``: decide P(G_{x,y}) over the *full* 2^k × 2^k
+    input grid through the persistent sweep store, report coverage
+    (restored / freshly solved / remaining) instead of sampling, and
+    check the iff-lemma on every pair.  Because each decision is
+    persisted the moment it lands, a run killed mid-grid resumes from
+    the last completed pair."""
+    from repro.core.family import sweep as run_sweep
+    from repro.core.family import verify_iff
+    from repro.experiments.sweep_store import SweepStore, family_key
+
+    k_bits = fam.k_bits
+    total = (1 << k_bits) ** 2
+    if k_bits > 10:
+        raise SystemExit(
+            f"--grid would enumerate 2^{k_bits} × 2^{k_bits} = {total} "
+            f"pairs; grids beyond k_bits=10 (~1M pairs) need a smaller k")
+    store = SweepStore(args.store_dir)  # None -> ~/.cache/repro/sweeps
+    fkey = family_key(fam)
+    pairs = _grid_pairs(k_bits)
+    pre = store.coverage(fkey, pairs)
+    print(f"grid sweep {args.family} (k={args.k}): "
+          f"2^{k_bits} x 2^{k_bits} = {total} pairs")
+    print(f"  store: {store.root}")
+    print(f"  coverage before: {pre}/{total} stored, {total - pre} remaining")
+    report = run_sweep(fam, pairs, store=store)
+    hit_pct = 100.0 * report.store_hits / max(1, report.unique_pairs)
+    print(f"  coverage after: {report.unique_pairs}/{total} decided "
+          f"({report.store_hits} restored from store, "
+          f"{report.solved} freshly solved, 0 remaining)")
+    print(f"  store hits: {report.store_hits}/{report.unique_pairs} "
+          f"({hit_pct:.1f}%)")
+    # every decision is already memoized, so the iff check re-solves
+    # nothing — it only compares each decision against f(x, y)
+    iff = verify_iff(fam, pairs, negate=True)
+    print(f"  iff-lemma over the full grid: {iff}")
+    if (args.expect_store_hits is not None
+            and hit_pct < args.expect_store_hits):
+        raise SystemExit(
+            f"store hit rate {hit_pct:.1f}% below the required "
+            f"{args.expect_store_hits:.1f}% (resume/caching regression?)")
+
+
 def cmd_verify(args: argparse.Namespace) -> None:
     from repro.cc.functions import random_input_pairs
     from repro.core.family import configure_sweep
@@ -116,6 +169,12 @@ def cmd_verify(args: argparse.Namespace) -> None:
     if args.sweep_jobs:
         configure_sweep(args.sweep_jobs)
     fam = _build(args.family, args.k)
+    if args.grid:
+        if args.xbits is not None or args.ybits is not None:
+            raise SystemExit("--grid enumerates every pair; it cannot be "
+                             "combined with --x/--y")
+        _verify_grid(fam, args)
+        return
     if args.xbits is not None or args.ybits is not None:
         # single-pair mode: re-check one (x, y), as emitted in
         # verify_iff mismatch repro commands
@@ -296,6 +355,18 @@ def main(argv: Optional[list] = None) -> None:
     p.add_argument("--y", dest="ybits", default=None, metavar="BITS")
     p.add_argument("--sweep-jobs", type=int, default=0, metavar="N",
                    help="fan predicate sweeps over N worker processes")
+    p.add_argument("--grid", action="store_true",
+                   help="decide the predicate over the FULL 2^k x 2^k "
+                        "input grid through the persistent sweep store, "
+                        "reporting coverage (restored / freshly solved) "
+                        "instead of sampling; resumable after a crash")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="sweep result store directory for --grid "
+                        "(default: ~/.cache/repro/sweeps)")
+    p.add_argument("--expect-store-hits", type=float, default=None,
+                   metavar="PCT",
+                   help="with --grid: exit nonzero when the store served "
+                        "fewer than PCT%% of the grid (the CI resume gate)")
 
     p = sub.add_parser("experiments", help="run the per-theorem experiments")
     p.add_argument("--full", action="store_true")

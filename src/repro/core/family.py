@@ -29,6 +29,7 @@ checks — never rebuild or re-solve at all.
 from __future__ import annotations
 
 import math
+import os
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -50,14 +51,41 @@ class FamilyValidationError(AssertionError):
 #: pass ``jobs=None`` use this value.
 _DEFAULT_SWEEP_JOBS = 1
 
+_UNSET = object()
 
-def configure_sweep(jobs: int = 1) -> None:
-    """Set the default worker count for predicate sweeps (``jobs=1`` is
-    serial).  Fork-based experiment workers inherit the setting."""
-    global _DEFAULT_SWEEP_JOBS
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    _DEFAULT_SWEEP_JOBS = jobs
+#: default persistent result store directory for sweeps (None = no
+#: store); set via :func:`configure_sweep`.  Explicit ``store=`` args
+#: to :func:`sweep` / :func:`verify_iff` override it per call.
+_SWEEP_STORE_DIR: Optional[str] = None
+_SWEEP_STORE_CACHE: Dict[str, Any] = {}
+
+
+def configure_sweep(jobs: Optional[int] = None,
+                    store_dir: Any = _UNSET) -> None:
+    """Set sweep defaults: ``jobs`` workers for predicate fan-out
+    (``1`` is serial) and/or a persistent result-store directory
+    (``None`` disables the store).  Fork-based experiment workers
+    inherit both settings."""
+    global _DEFAULT_SWEEP_JOBS, _SWEEP_STORE_DIR
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        _DEFAULT_SWEEP_JOBS = jobs
+    if store_dir is not _UNSET:
+        _SWEEP_STORE_DIR = os.fspath(store_dir) if store_dir else None
+
+
+def _configured_store():
+    """The module-default :class:`~repro.experiments.sweep_store.SweepStore`
+    (one instance per directory), or None when no store is configured."""
+    if _SWEEP_STORE_DIR is None:
+        return None
+    store = _SWEEP_STORE_CACHE.get(_SWEEP_STORE_DIR)
+    if store is None:
+        from repro.experiments.sweep_store import SweepStore
+        store = SweepStore(_SWEEP_STORE_DIR)
+        _SWEEP_STORE_CACHE[_SWEEP_STORE_DIR] = store
+    return store
 
 
 def _warm_graph_caches(graph: AnyGraph) -> None:
@@ -87,6 +115,20 @@ class DeltaBuildMixin:
     varying vertex sets) simply override ``build`` directly; everything
     here degrades gracefully to that.
     """
+
+    #: per-instance caches that :meth:`skeleton` and :func:`sweep`
+    #: accrete over a family's lifetime.  They are pure derived state,
+    #: so pickling strips them — a fan-out payload must not grow with
+    #: sweep history (workers rebuild the skeleton once each, and
+    #: shipping thousands of memoized decisions they never read would
+    #: dwarf the family itself).
+    _PICKLE_TRANSIENT = ("_skeleton_store", "_sweep_memo")
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        for key in self._PICKLE_TRANSIENT:
+            state.pop(key, None)
+        return state
 
     def build_skeleton(self) -> AnyGraph:
         """Construct the input-independent part of G_{x,y} from scratch."""
@@ -312,8 +354,11 @@ class SweepReport:
     """Outcome of a batched predicate sweep (see :func:`sweep`).
 
     ``decisions[i]`` is the predicate value for ``pairs[i]``; reports
-    are order-preserving and byte-identical regardless of memoization
-    or worker fan-out.
+    are order-preserving and byte-identical regardless of memoization,
+    store restores, or worker fan-out.  ``unique_pairs`` splits into
+    ``store_hits`` (restored from the persistent result store) plus
+    ``solved`` (freshly decided this sweep) — coverage reporting relies
+    on the two being distinguishable.
     """
 
     decisions: List[bool]
@@ -321,11 +366,14 @@ class SweepReport:
     unique_pairs: int
     memo_hits: int
     solved: int
+    store_hits: int = 0
 
     def __str__(self) -> str:
+        stored = (f", {self.store_hits} store hits"
+                  if self.store_hits else "")
         return (f"{self.pairs} pairs swept "
-                f"({self.unique_pairs} unique, {self.memo_hits} memo hits, "
-                f"{self.solved} solved)")
+                f"({self.unique_pairs} unique, {self.memo_hits} memo hits"
+                f"{stored}, {self.solved} solved)")
 
 
 def sweep(
@@ -333,6 +381,9 @@ def sweep(
     input_pairs: Sequence[Tuple[Bits, Bits]],
     jobs: Optional[int] = None,
     memo: bool = True,
+    store: Any = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> SweepReport:
     """Decide P(G_{x,y}) for a batch of input pairs through the
     incremental-build path.
@@ -344,12 +395,23 @@ def sweep(
     rebuilt or re-solved.  Distinct pairs yielding equal graphs still
     collapse into :mod:`repro.solvers.cache` hits via ``content_hash``.
 
-    ``jobs > 1`` fans the *unique* pairs over the PR 2 fork pool
-    (serial fallback when the family or platform can't support it);
-    decisions come back in request order either way.
+    ``store`` is a :class:`repro.experiments.sweep_store.SweepStore`
+    (default: the one configured via :func:`configure_sweep`, usually
+    none): undecided pairs found there are *restored* instead of
+    re-solved (counted as ``store_hits``), and every fresh decision is
+    persisted the moment it lands — serially or inside a fork worker —
+    so a sweep killed mid-batch resumes where it stopped.
+
+    ``jobs > 1`` fans the remaining pairs over a work-stealing shard
+    queue of fork workers (:mod:`repro.experiments.sweep`) with
+    per-shard ``timeout``/``retries`` crash semantics; serial fallback
+    when the family or platform can't support fan-out.  Decisions come
+    back in request order either way.
     """
     if jobs is None:
         jobs = _DEFAULT_SWEEP_JOBS
+    if store is None:
+        store = _configured_store()
     memo_store: Dict[Tuple[Bits, Bits], bool]
     if memo:
         memo_store = getattr(family, "_sweep_memo", None)
@@ -368,21 +430,41 @@ def sweep(
     # prior-sweep hits and in-batch duplicates both skip the solver
     memo_hits = len(keys) - len(todo)
 
+    fkey = None
+    store_hits = 0
+    if store is not None and todo:
+        from repro.experiments.sweep_store import family_key
+        fkey = family_key(family)
+        stored = store.load_pairs(fkey)
+        if stored:
+            remaining: List[Tuple[Bits, Bits]] = []
+            for key in todo:
+                decision = stored.get(key)
+                if decision is None:
+                    remaining.append(key)
+                else:
+                    memo_store[key] = decision
+                    store_hits += 1
+            todo = remaining
+
     decided: Optional[List[bool]] = None
     if jobs > 1 and len(todo) > 1:
         from repro.experiments.sweep import parallel_decisions
-        decided = parallel_decisions(family, todo, jobs)
+        decided = parallel_decisions(family, todo, jobs, timeout=timeout,
+                                     retries=retries, store=store, fkey=fkey)
     if decided is None:
-        decided = [family.predicate(family.build(x, y)) for x, y in todo]
+        from repro.experiments.sweep import _decide_serial
+        decided = _decide_serial(family, todo, store=store, fkey=fkey)
     for key, decision in zip(todo, decided):
         memo_store[key] = decision
 
     return SweepReport(
         decisions=[memo_store[key] for key in keys],
         pairs=len(keys),
-        unique_pairs=len(todo),
+        unique_pairs=len(todo) + store_hits,
         memo_hits=memo_hits,
         solved=len(todo),
+        store_hits=store_hits,
     )
 
 
@@ -430,6 +512,7 @@ def verify_iff(
     negate: bool = False,
     jobs: Optional[int] = None,
     memo: bool = True,
+    store: Any = None,
 ) -> IffReport:
     """Check item 4 of Definition 1.1: P(G_{x,y}) ⇔ f(x, y).
 
@@ -438,11 +521,12 @@ def verify_iff(
     family up to renaming the predicate).
 
     Decisions run through :func:`sweep` (delta builds, per-pair
-    memoization, optional ``jobs`` fan-out).  On failure, *all*
+    memoization, optional ``jobs`` fan-out and persistent ``store``
+    restores).  On failure, *all*
     mismatching pairs are collected into the
     :class:`FamilyValidationError`, each with a one-line repro command.
     """
-    report = sweep(family, input_pairs, jobs=jobs, memo=memo)
+    report = sweep(family, input_pairs, jobs=jobs, memo=memo, store=store)
     true_count = 0
     false_count = 0
     mismatches: List[str] = []

@@ -123,17 +123,19 @@ def _error_record(experiment_id: str, tb: str) -> ExperimentRecord:
 def _terminate(executor: futures.ProcessPoolExecutor) -> None:
     """Abandon a pool fast: cancel queued work and kill live workers
     (needed when a worker is stuck past its timeout)."""
+    # snapshot first: shutdown() drops the _processes reference even with
+    # wait=False, and a wedged worker left alive keeps the pool's manager
+    # thread (and interpreter exit) blocked until its task finishes
+    procs = dict(getattr(executor, "_processes", None) or {})
     try:
         executor.shutdown(wait=False, cancel_futures=True)
     except Exception:  # pragma: no cover - defensive
         pass
-    procs = getattr(executor, "_processes", None)
-    if procs:
-        for proc in list(procs.values()):
-            try:
-                proc.terminate()
-            except Exception:  # pragma: no cover - already gone
-                pass
+    for proc in procs.values():
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already gone
+            pass
 
 
 def _run_isolated(experiment_id: str, quick: bool, trace_dir: Optional[str],

@@ -41,6 +41,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, TypeVar
 
@@ -136,6 +137,40 @@ def default_cache_dir() -> str:
     return os.path.join(base, "repro")
 
 
+#: a ``*.tmp`` this old cannot belong to a live writer — atomic writes
+#: hold their temp file for milliseconds, so an hour means the writer
+#: crashed (or was killed) between ``mkstemp`` and ``os.replace``.
+STALE_TMP_AGE_S = 3600.0
+
+
+def sweep_stale_tmp(directory: str,
+                    max_age_s: float = STALE_TMP_AGE_S) -> int:
+    """Delete ``mkstemp`` leftovers of crashed writers in ``directory``.
+
+    Only ``*.tmp`` files older than ``max_age_s`` go — a fresh temp file
+    may belong to a concurrent writer mid-``os.replace``, and deleting
+    it under that writer would be a race (its ``replace`` would fail and
+    be absorbed as a degraded write).  Returns how many were removed.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    removed = 0
+    now = time.time()
+    for fname in names:
+        if not fname.endswith(".tmp"):
+            continue
+        path = os.path.join(directory, fname)
+        try:
+            if now - os.stat(path).st_mtime >= max_age_s:
+                os.unlink(path)
+                removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 @dataclass
 class CacheStats:
     """Per-solver hit/miss counters (``disk_hits`` ⊆ ``hits``)."""
@@ -157,6 +192,8 @@ class SolverCache:
         self.cache_dir = cache_dir
         self._mem: Dict[str, Any] = {}
         self.stats: Dict[str, CacheStats] = {}
+        if cache_dir:
+            sweep_stale_tmp(cache_dir)
 
     # -- configuration -------------------------------------------------
     def configure(self, enabled: Any = _UNSET,
@@ -165,13 +202,18 @@ class SolverCache:
             self.enabled = bool(enabled)
         if cache_dir is not _UNSET:
             self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+            if self.cache_dir:
+                # crashed writers leave mkstemp leftovers behind; adopt
+                # the directory clean so they cannot pile up run over run
+                sweep_stale_tmp(self.cache_dir)
 
     def clear(self) -> None:
-        """Drop the memory tier and every on-disk entry (counters kept)."""
+        """Drop the memory tier and every on-disk entry — ``*.tmp``
+        leftovers of crashed writers included (counters kept)."""
         self._mem.clear()
         if self.cache_dir and os.path.isdir(self.cache_dir):
             for fname in os.listdir(self.cache_dir):
-                if fname.endswith(".json"):
+                if fname.endswith(".json") or fname.endswith(".tmp"):
                     try:
                         os.unlink(os.path.join(self.cache_dir, fname))
                     except OSError:

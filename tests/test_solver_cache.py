@@ -284,3 +284,47 @@ class TestSolverResultsUnchanged:
         assert value == expected[0]
         assert flow == expected[1]
         assert all(isinstance(arc, tuple) for arc in flow)
+
+
+class TestStaleTmpCleanup:
+    """Crashed writers leave ``mkstemp`` leftovers; ``clear()`` and the
+    startup sweep must reap them (regression: ``clear()`` used to match
+    only ``*.json`` so ``*.tmp`` orphans accumulated forever)."""
+
+    @staticmethod
+    def _make_tmp(directory, name, age_s=0.0):
+        path = os.path.join(str(directory), name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"solver": "killed-mid-w')
+        if age_s:
+            old = os.stat(path).st_mtime - age_s
+            os.utime(path, (old, old))
+        return path
+
+    def test_clear_removes_orphaned_tmp_files(self, tmp_path):
+        configure(cache_dir=str(tmp_path))
+        g = complete_graph(4)
+        max_cut(g)
+        orphan = self._make_tmp(tmp_path, "tmpabc123.tmp")
+        assert list(tmp_path.glob("*.json"))
+        CACHE.clear()
+        assert not os.path.exists(orphan)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_startup_sweep_reaps_stale_keeps_fresh(self, tmp_path):
+        stale = self._make_tmp(tmp_path, "tmpstale.tmp", age_s=7200.0)
+        fresh = self._make_tmp(tmp_path, "tmpfresh.tmp")
+        configure(cache_dir=str(tmp_path))
+        # a fresh tmp may belong to a live concurrent writer: kept
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)
+
+    def test_constructor_sweeps_stale_tmp(self, tmp_path):
+        stale = self._make_tmp(tmp_path, "tmpstale.tmp", age_s=7200.0)
+        SolverCache(cache_dir=str(tmp_path))
+        assert not os.path.exists(stale)
+
+    def test_sweep_stale_tmp_missing_dir_is_noop(self, tmp_path):
+        from repro.solvers.cache import sweep_stale_tmp
+
+        assert sweep_stale_tmp(str(tmp_path / "nope")) == 0

@@ -1,0 +1,454 @@
+"""Sweep fabric: content-addressed result store, work-stealing shards,
+crash resume, and the sweep-layer bugfix regressions."""
+
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.family import SweepReport, sweep, verify_iff
+from repro.core.maxcut import MaxCutFamily
+from repro.core.mds import MdsFamily
+from repro.experiments.sweep import SHARDS_PER_WORKER, parallel_decisions
+from repro.experiments.sweep_store import (
+    FamilyKey,
+    SweepStore,
+    default_sweep_store_dir,
+    family_key,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+
+def _grid(k_bits):
+    return [(tuple(int(b) for b in format(i, f"0{k_bits}b")),
+             tuple(int(b) for b in format(j, f"0{k_bits}b")))
+            for i in range(1 << k_bits) for j in range(1 << k_bits)]
+
+
+def _pairs(fam, n, seed=0xBEEF):
+    import random
+
+    from repro.cc.functions import random_input_pairs
+    return random_input_pairs(fam.k_bits, n, random.Random(seed))
+
+
+def _entries(store, fkey):
+    fdir = store.family_dir(fkey)
+    if not os.path.isdir(fdir):
+        return []
+    return sorted(f for f in os.listdir(fdir)
+                  if f.endswith(".json") and f != "meta.json")
+
+
+# ----------------------------------------------------------------------
+# store basics: keys, round-trip, meta
+# ----------------------------------------------------------------------
+class TestStoreBasics:
+    def test_roundtrip_single_pair(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fkey = family_key(MdsFamily(2))
+        x, y = (0, 1, 0, 1), (1, 1, 0, 0)
+        assert store.lookup(fkey, x, y) is None
+        store.store(fkey, x, y, False)
+        assert store.lookup(fkey, x, y) is False
+        store.store(fkey, x, y, True)  # last write wins
+        assert store.lookup(fkey, x, y) is True
+        assert store.load_pairs(fkey) == {(x, y): True}
+
+    def test_key_distinguishes_families_not_instances(self):
+        assert family_key(MdsFamily(2)) == family_key(MdsFamily(2))
+        assert family_key(MdsFamily(2)) != family_key(MaxCutFamily(2))
+        assert family_key(MdsFamily(2)) != family_key(MdsFamily(4))
+
+    def test_meta_records_readable_identity(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fam = MdsFamily(2)
+        fkey = family_key(fam)
+        store.store(fkey, (0,) * 4, (1,) * 4, True)
+        with open(os.path.join(store.family_dir(fkey), "meta.json")) as fh:
+            meta = json.load(fh)
+        assert meta["family"] == "MdsFamily"
+        assert meta["k_bits"] == 4
+        assert meta["skeleton_hash"].startswith("skel:")
+
+    def test_default_dir_under_cache_root(self, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", "/tmp/xdg-test")
+        assert default_sweep_store_dir() == "/tmp/xdg-test/repro/sweeps"
+
+    def test_clear_removes_entries_and_tmps(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fkey = family_key(MdsFamily(2))
+        store.store(fkey, (0,) * 4, (1,) * 4, True)
+        fdir = store.family_dir(fkey)
+        with open(os.path.join(fdir, "tmpdead.tmp"), "w") as fh:
+            fh.write("{")
+        store.clear()
+        assert not os.path.exists(fdir)
+
+    def test_startup_sweeps_stale_tmp_only(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fkey = family_key(MdsFamily(2))
+        store.store(fkey, (0,) * 4, (1,) * 4, True)
+        fdir = store.family_dir(fkey)
+        stale = os.path.join(fdir, "tmpstale.tmp")
+        fresh = os.path.join(fdir, "tmpfresh.tmp")
+        for path in (stale, fresh):
+            with open(path, "w") as fh:
+                fh.write("{")
+        old = os.stat(stale).st_mtime - 7200.0
+        os.utime(stale, (old, old))
+        SweepStore(str(tmp_path))  # startup sweep
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)
+        assert _entries(store, fkey)  # real entries untouched
+
+
+# ----------------------------------------------------------------------
+# sweep() integration: restore, persist, report counters
+# ----------------------------------------------------------------------
+class TestSweepWithStore:
+    def test_repeat_sweep_is_pure_restore(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fam = MdsFamily(2)
+        pairs = _grid(fam.k_bits)
+        first = sweep(fam, pairs, store=store)
+        assert first.solved == 256 and first.store_hits == 0
+        fresh = MdsFamily(2)  # no memo, decisions must come from disk
+        second = sweep(fresh, pairs, store=store)
+        assert second.decisions == first.decisions
+        assert second.store_hits == 256 and second.solved == 0
+        assert second.unique_pairs == 256
+
+    def test_solved_distinguishes_fresh_from_restored(self, tmp_path):
+        # regression: solved was hardwired to the unique-pair count even
+        # when every decision was restored from the store
+        store = SweepStore(str(tmp_path))
+        fam = MdsFamily(2)
+        pairs = _pairs(fam, 6)
+        sweep(fam, pairs[:3], store=store)
+        report = sweep(MdsFamily(2), pairs, store=store)
+        assert report.store_hits == 3
+        assert report.solved == len(report.decisions) - 3 == 3
+        assert report.unique_pairs == 6
+        assert "store hits" in str(report)
+        # no store, no store_hits: the legacy report shape is unchanged
+        plain = sweep(MdsFamily(2), pairs)
+        assert plain.store_hits == 0 and plain.solved == plain.unique_pairs
+        assert "store hits" not in str(plain)
+
+    def test_corrupt_entry_degrades_to_recompute(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fam = MdsFamily(2)
+        pairs = _pairs(fam, 5)
+        first = sweep(fam, pairs, store=store)
+        fkey = family_key(fam)
+        fdir = store.family_dir(fkey)
+        names = _entries(store, fkey)
+        # truncated mid-write, wrong shape, not JSON at all
+        for name, junk in zip(names, ('{"x": "01', '{"x": 3, "y": []}',
+                                      "not json")):
+            with open(os.path.join(fdir, name), "w") as fh:
+                fh.write(junk)
+        report = sweep(MdsFamily(2), pairs, store=store)
+        assert report.decisions == first.decisions
+        assert report.solved == 3 and report.store_hits == len(names) - 3
+        # the corrupt files were dropped and rewritten
+        assert len(_entries(store, fkey)) == len(names)
+        assert sweep(MdsFamily(2), pairs, store=store).store_hits == \
+            report.unique_pairs
+
+    def test_unwritable_store_degrades_to_memory_only(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the store dir should be")
+        store = SweepStore(str(target))
+        fam = MdsFamily(2)
+        pairs = _pairs(fam, 3)
+        report = sweep(fam, pairs, store=store)
+        assert report.solved == len({(tuple(x), tuple(y))
+                                     for x, y in pairs})
+        assert report.decisions == sweep(MdsFamily(2), pairs).decisions
+
+    def test_parallel_sweep_persists_through_workers(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fam = MdsFamily(2)
+        pairs = _grid(fam.k_bits)[:64]
+        report = sweep(fam, pairs, jobs=2, store=store)
+        assert report.solved == 64
+        assert len(_entries(store, family_key(fam))) == 64
+        resumed = sweep(MdsFamily(2), pairs, store=store)
+        assert resumed.store_hits == 64
+        assert resumed.decisions == report.decisions
+
+    def test_verify_iff_accepts_store(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fam = MdsFamily(2)
+        pairs = _pairs(fam, 4)
+        report = verify_iff(fam, pairs, negate=True, store=store)
+        assert report.checked == 4
+        assert _entries(store, family_key(fam))
+
+    def test_configured_default_store(self, tmp_path):
+        from repro.core.family import configure_sweep
+        configure_sweep(store_dir=str(tmp_path))
+        try:
+            fam = MdsFamily(2)
+            pairs = _pairs(fam, 3)
+            sweep(fam, pairs)
+            assert _entries(SweepStore(str(tmp_path)), family_key(fam))
+        finally:
+            configure_sweep(store_dir=None)
+        report = sweep(MdsFamily(2), pairs)  # store off again
+        assert report.store_hits == 0
+
+
+# ----------------------------------------------------------------------
+# the shard scheduler and its regressions
+# ----------------------------------------------------------------------
+PARENT_PID = os.getpid()
+
+
+class CrashInWorkers(MdsFamily):
+    """Predicate hard-kills any process that is not the test parent."""
+
+    def predicate(self, graph):
+        if os.getpid() != PARENT_PID:
+            os._exit(17)
+        return super().predicate(graph)
+
+
+class HangInWorkers(MdsFamily):
+    """Predicate wedges any process that is not the test parent."""
+
+    def predicate(self, graph):
+        if os.getpid() != PARENT_PID:
+            time.sleep(600)
+        return super().predicate(graph)
+
+
+class TestShardScheduler:
+    def test_empty_pairs_returns_empty(self):
+        # regression: len(pairs)==0 divided by zero before the pool
+        assert parallel_decisions(MdsFamily(2), [], 4) == []
+
+    def test_nonpositive_jobs_clamped(self):
+        # regression: jobs<=0 divided by zero in the chunk computation
+        fam = MdsFamily(2)
+        pairs = [(tuple(p[0]), tuple(p[1])) for p in _pairs(fam, 3)]
+        want = [fam.predicate(fam.build(x, y)) for x, y in pairs]
+        for jobs in (0, -3):
+            assert parallel_decisions(MdsFamily(2), pairs, jobs) == want
+
+    def test_shards_are_smaller_than_static_chunks(self):
+        fam = MdsFamily(2)
+        pairs = _grid(fam.k_bits)
+        jobs = 4
+        static_chunk = (len(pairs) + jobs - 1) // jobs
+        shard = max(1, -(-len(pairs) // (jobs * SHARDS_PER_WORKER)))
+        assert shard * SHARDS_PER_WORKER <= static_chunk + SHARDS_PER_WORKER
+
+    def test_matches_serial_decisions(self):
+        fam = MdsFamily(2)
+        pairs = [(tuple(p[0]), tuple(p[1])) for p in _pairs(fam, 9)]
+        want = [fam.predicate(fam.build(x, y)) for x, y in pairs]
+        assert parallel_decisions(MdsFamily(2), pairs, 3) == want
+
+    def test_worker_death_healed_by_parent(self):
+        fam = CrashInWorkers(2)
+        pairs = [(tuple(p[0]), tuple(p[1])) for p in _pairs(fam, 5)]
+        want = [MdsFamily(2).predicate(MdsFamily(2).build(x, y))
+                for x, y in pairs]
+        got = parallel_decisions(fam, pairs, 2, retries=0)
+        assert got == want
+
+    def test_timeout_healed_by_parent(self):
+        fam = HangInWorkers(2)
+        pairs = [(tuple(p[0]), tuple(p[1])) for p in _pairs(fam, 4)]
+        want = [MdsFamily(2).predicate(MdsFamily(2).build(x, y))
+                for x, y in pairs]
+        start = time.monotonic()
+        got = parallel_decisions(fam, pairs, 2, timeout=0.5)
+        assert got == want
+        assert time.monotonic() - start < 120  # wedged workers torn down
+
+    def test_unpicklable_family_still_returns_none(self):
+        class Local(MdsFamily):
+            pass
+
+        assert parallel_decisions(Local(2), _pairs(Local(2), 3), 2) is None
+
+
+# ----------------------------------------------------------------------
+# fan-out payload size is sweep-history independent
+# ----------------------------------------------------------------------
+class TestPickleStripsSweepState:
+    def test_blob_size_history_independent(self):
+        # regression: sweep() shipped the accumulated _sweep_memo and the
+        # warmed skeleton inside every worker payload
+        fam = MdsFamily(2)
+        before = len(pickle.dumps(fam))
+        sweep(fam, _grid(fam.k_bits))
+        fam.skeleton()
+        assert len(fam._sweep_memo) == 256
+        assert len(pickle.dumps(fam)) == before
+
+    def test_unpickled_family_rebuilds_cleanly(self):
+        fam = MdsFamily(2)
+        pairs = _pairs(fam, 3)
+        want = sweep(fam, pairs).decisions
+        clone = pickle.loads(pickle.dumps(fam))
+        assert not hasattr(clone, "_sweep_memo")
+        assert not hasattr(clone, "_skeleton_store")
+        assert sweep(clone, pairs).decisions == want
+
+
+# ----------------------------------------------------------------------
+# concurrency: parallel writers on the same key
+# ----------------------------------------------------------------------
+def _hammer_store(root, fkey_tuple, decision, reps):
+    store = SweepStore(root, sweep_stale=False)
+    fkey = FamilyKey(*fkey_tuple)
+    for __ in range(reps):
+        store.store(fkey, (0, 1, 0, 1), (1, 0, 1, 0), decision)
+
+
+class TestConcurrentWriters:
+    def test_same_key_atomic_last_write_wins(self, tmp_path):
+        fkey = family_key(MdsFamily(2))
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_hammer_store,
+                        args=(str(tmp_path), fkey.as_tuple(), bool(i), 50))
+            for i in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = SweepStore(str(tmp_path))
+        # never torn: the entry decodes and carries one writer's value
+        value = store.lookup(fkey, (0, 1, 0, 1), (1, 0, 1, 0))
+        assert value in (True, False)
+        assert len(_entries(store, fkey)) == 1
+
+
+# ----------------------------------------------------------------------
+# kill-resume: a campaign killed mid-grid resumes with zero recompute
+# ----------------------------------------------------------------------
+KILL_RESUME_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.core.mds import MdsFamily
+
+_orig = MdsFamily.predicate
+def slow(self, graph):
+    time.sleep(0.02)  # stretch the grid so the parent can kill mid-way
+    return _orig(self, graph)
+MdsFamily.predicate = slow
+
+from repro.core.family import sweep
+from repro.experiments.sweep_store import SweepStore
+
+fam = MdsFamily(2)
+kb = fam.k_bits
+pairs = [(tuple(int(b) for b in format(i, "0%db" % kb)),
+          tuple(int(b) for b in format(j, "0%db" % kb)))
+         for i in range(1 << kb) for j in range(1 << kb)]
+sweep(fam, pairs, store=SweepStore({store!r}))
+"""
+
+
+class TestKillResume:
+    def test_killed_grid_sweep_resumes_without_recompute(self, tmp_path,
+                                                         monkeypatch):
+        store_dir = str(tmp_path / "store")
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             KILL_RESUME_SCRIPT.format(src=SRC, store=store_dir)])
+        fkey = family_key(MdsFamily(2))
+        probe = SweepStore(store_dir, sweep_stale=False)
+        deadline = time.monotonic() + 60
+        try:
+            while time.monotonic() < deadline:
+                if len(_entries(probe, fkey)) >= 8:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("sweep subprocess finished before the kill")
+                time.sleep(0.01)
+            else:
+                pytest.fail("store never accumulated 8 entries")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        stored = SweepStore(store_dir).load_pairs(fkey)
+        assert 0 < len(stored) < 256  # genuinely mid-grid
+        # atomic writes: every surviving entry decodes (no torn files)
+
+        calls = []
+        orig = MdsFamily.predicate
+        monkeypatch.setattr(
+            MdsFamily, "predicate",
+            lambda self, graph: (calls.append(1), orig(self, graph))[1])
+        report = sweep(MdsFamily(2), _grid(4), store=SweepStore(store_dir))
+        assert report.store_hits == len(stored)
+        assert report.solved == 256 - len(stored)
+        assert len(calls) == 256 - len(stored)  # zero stored-key recompute
+        assert report.unique_pairs == 256
+
+        # converged: a third pass is pure restore
+        final = sweep(MdsFamily(2), _grid(4), store=SweepStore(store_dir))
+        assert final.store_hits == 256 and final.solved == 0
+        assert final.decisions == report.decisions
+
+
+# ----------------------------------------------------------------------
+# the standing check and the CLI grid mode
+# ----------------------------------------------------------------------
+class TestCheckAndCli:
+    def test_store_equivalence_check_green(self):
+        from repro.check.sweep_check import check_sweep_store
+        assert check_sweep_store(0, 0) is None
+        assert check_sweep_store(0, 1) is None
+
+    def test_store_equivalence_registered(self):
+        from repro.check import CHECKS
+        assert any(c.name == "sweep:store-equivalence" for c in CHECKS)
+
+    def test_cli_grid_first_and_resumed(self, tmp_path, capsys):
+        from repro.cli import main
+        store = str(tmp_path / "grid-store")
+        main(["verify", "mds", "-k", "2", "--grid", "--store-dir", store])
+        out = capsys.readouterr().out
+        assert "coverage before: 0/256 stored, 256 remaining" in out
+        assert "256 freshly solved" in out
+        assert "iff-lemma over the full grid" in out
+        main(["verify", "mds", "-k", "2", "--grid", "--store-dir", store,
+              "--expect-store-hits", "90"])
+        out = capsys.readouterr().out
+        assert "coverage before: 256/256 stored, 0 remaining" in out
+        assert "store hits: 256/256 (100.0%)" in out
+
+    def test_cli_grid_gate_fails_on_cold_store(self, tmp_path, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", "mds", "-k", "2", "--grid",
+                  "--store-dir", str(tmp_path / "cold"),
+                  "--expect-store-hits", "90"])
+        assert "below the required" in str(exc.value)
+
+    def test_cli_grid_rejects_single_pair_flags(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["verify", "mds", "-k", "2", "--grid",
+                  "--store-dir", str(tmp_path), "--x", "0000",
+                  "--y", "0000"])
