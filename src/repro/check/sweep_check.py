@@ -8,6 +8,11 @@ store, decisions restored by a *fresh* family instance, and
 from-scratch reference decisions (``build_scratch``, no memo, no store)
 must all agree — and a corrupted entry must degrade to a recompute that
 still agrees, never to a wrong answer or a crash.
+
+The same pairs are also pushed through the persistent warm worker pool
+(``jobs=2``): pool-decided sweeps must match scratch bit-for-bit, and
+the decisions workers persist to the store must restore identically in
+a later serial sweep — pinning serial ≡ cold-pool ≡ warm-pool.
 """
 
 from __future__ import annotations
@@ -51,6 +56,35 @@ def check_sweep_store(seed: int, index: int) -> Optional[str]:
         if second.store_hits != second.unique_pairs or second.solved != 0:
             return (f"{make.__name__}: expected a pure-restore sweep, "
                     f"got {second}")
+
+        # warm-pool leg: decisions decided *inside pool workers* and
+        # persisted by them must agree with scratch and restore cleanly.
+        # When this check itself runs inside a fan-out worker (the
+        # harness's --jobs mode) the leg degrades to jobs=1 — forking a
+        # nested pool from a pool worker is exactly what the warm pool
+        # refuses to do, and the cold scheduler must not do it either.
+        import multiprocessing
+
+        in_main = multiprocessing.current_process().name == "MainProcess"
+        warm_tmp = tempfile.mkdtemp(prefix="repro-sweep-check-warm-")
+        try:
+            warm_store = SweepStore(warm_tmp)
+            warm = sweep(make(2), pairs, store=warm_store,
+                         jobs=2 if in_main else 1, warm=True)
+            if warm.decisions != scratch:
+                return (f"{make.__name__}: warm-pool decisions "
+                        f"{warm.decisions} != scratch decisions {scratch}")
+            replay = sweep(make(2), pairs, store=warm_store)
+            if replay.decisions != scratch:
+                return (f"{make.__name__}: replay of worker-persisted "
+                        f"decisions {replay.decisions} != scratch "
+                        f"decisions {scratch}")
+            if replay.solved != 0:
+                return (f"{make.__name__}: worker-persisted store was "
+                        f"incomplete, replay re-solved {replay.solved} "
+                        f"pairs: {replay}")
+        finally:
+            shutil.rmtree(warm_tmp, ignore_errors=True)
 
         # corrupt one stored entry: must recompute, not crash or lie
         fdir = store.family_dir(family_key(fresh))

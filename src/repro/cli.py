@@ -168,6 +168,8 @@ def cmd_verify(args: argparse.Namespace) -> None:
 
     if args.sweep_jobs:
         configure_sweep(args.sweep_jobs)
+    if args.no_warm_pool:
+        configure_sweep(warm=False)
     fam = _build(args.family, args.k)
     if args.grid:
         if args.xbits is not None or args.ybits is not None:
@@ -216,6 +218,8 @@ def cmd_experiments(args: argparse.Namespace) -> None:
     configure_cache(enabled=not args.no_cache, cache_dir=cache_dir)
     if args.sweep_jobs:
         configure_sweep(args.sweep_jobs)
+    if args.no_warm_pool:
+        configure_sweep(warm=False)
     records = run_all(quick=not args.full,
                       only=args.only if args.only else None,
                       trace_dir=args.trace_dir,
@@ -224,7 +228,8 @@ def cmd_experiments(args: argparse.Namespace) -> None:
                       timeout=args.timeout,
                       retries=args.retries,
                       trace_format=args.trace_format,
-                      engine=args.engine)
+                      engine=args.engine,
+                      warm=not args.no_warm_pool)
     print(format_markdown(records))
     failed = [r.experiment_id for r in records if not r.passed]
     if failed:
@@ -355,6 +360,9 @@ def main(argv: Optional[list] = None) -> None:
     p.add_argument("--y", dest="ybits", default=None, metavar="BITS")
     p.add_argument("--sweep-jobs", type=int, default=0, metavar="N",
                    help="fan predicate sweeps over N worker processes")
+    p.add_argument("--no-warm-pool", action="store_true",
+                   help="route parallel sweeps through throwaway cold "
+                        "pools instead of the persistent warm pool")
     p.add_argument("--grid", action="store_true",
                    help="decide the predicate over the FULL 2^k x 2^k "
                         "input grid through the persistent sweep store, "
@@ -401,6 +409,10 @@ def main(argv: Optional[list] = None) -> None:
                    help="fan each family's predicate sweep over N worker "
                         "processes (independent of --jobs; reports are "
                         "byte-identical to serial sweeps)")
+    p.add_argument("--no-warm-pool", action="store_true",
+                   help="use throwaway cold worker pools instead of the "
+                        "persistent warm pool for --jobs/--sweep-jobs "
+                        "fan-out")
     p.add_argument("--engine", choices=("fast", "reference", "vectorized"),
                    default=None,
                    help="CONGEST round-loop engine for every simulator "

@@ -59,20 +59,29 @@ _UNSET = object()
 _SWEEP_STORE_DIR: Optional[str] = None
 _SWEEP_STORE_CACHE: Dict[str, Any] = {}
 
+#: whether ``jobs > 1`` sweeps go through the persistent warm worker
+#: pool (:mod:`repro.experiments.warm_pool`) before the cold fork
+#: scheduler; set via :func:`configure_sweep` (``--no-sweep-warm``).
+_DEFAULT_SWEEP_WARM = True
+
 
 def configure_sweep(jobs: Optional[int] = None,
-                    store_dir: Any = _UNSET) -> None:
+                    store_dir: Any = _UNSET,
+                    warm: Optional[bool] = None) -> None:
     """Set sweep defaults: ``jobs`` workers for predicate fan-out
-    (``1`` is serial) and/or a persistent result-store directory
-    (``None`` disables the store).  Fork-based experiment workers
-    inherit both settings."""
-    global _DEFAULT_SWEEP_JOBS, _SWEEP_STORE_DIR
+    (``1`` is serial), a persistent result-store directory (``None``
+    disables the store), and/or ``warm`` routing of parallel sweeps
+    through the persistent warm pool.  Fork-based experiment workers
+    inherit all three settings."""
+    global _DEFAULT_SWEEP_JOBS, _SWEEP_STORE_DIR, _DEFAULT_SWEEP_WARM
     if jobs is not None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         _DEFAULT_SWEEP_JOBS = jobs
     if store_dir is not _UNSET:
         _SWEEP_STORE_DIR = os.fspath(store_dir) if store_dir else None
+    if warm is not None:
+        _DEFAULT_SWEEP_WARM = bool(warm)
 
 
 def _configured_store():
@@ -98,6 +107,9 @@ def _warm_graph_caches(graph: AnyGraph) -> None:
         graph.edge_weights()
     else:
         graph.edge_weights()
+    # populates the vertex-set caches (sorted order, sort-key maps) that
+    # survive the weight/edge deltas apply_inputs makes on each copy
+    graph.content_hash()
 
 
 class DeltaBuildMixin:
@@ -384,6 +396,7 @@ def sweep(
     store: Any = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    warm: Optional[bool] = None,
 ) -> SweepReport:
     """Decide P(G_{x,y}) for a batch of input pairs through the
     incremental-build path.
@@ -402,14 +415,20 @@ def sweep(
     persisted the moment it lands — serially or inside a fork worker —
     so a sweep killed mid-batch resumes where it stopped.
 
-    ``jobs > 1`` fans the remaining pairs over a work-stealing shard
-    queue of fork workers (:mod:`repro.experiments.sweep`) with
-    per-shard ``timeout``/``retries`` crash semantics; serial fallback
-    when the family or platform can't support fan-out.  Decisions come
-    back in request order either way.
+    ``jobs > 1`` fans the remaining pairs over the persistent warm
+    worker pool (:mod:`repro.experiments.warm_pool` — skeleton
+    broadcast once per :class:`~repro.experiments.sweep_store.FamilyKey`,
+    per-pair payloads reduced to the bit strings; disable with
+    ``warm=False`` / ``configure_sweep(warm=False)``), falling back to
+    the cold work-stealing shard queue (:mod:`repro.experiments.sweep`)
+    and then to the serial loop when fan-out is impossible.  All paths
+    share the per-shard ``timeout``/``retries`` crash semantics and
+    return decisions in request order.
     """
     if jobs is None:
         jobs = _DEFAULT_SWEEP_JOBS
+    if warm is None:
+        warm = _DEFAULT_SWEEP_WARM
     if store is None:
         store = _configured_store()
     memo_store: Dict[Tuple[Bits, Bits], bool]
@@ -449,9 +468,15 @@ def sweep(
 
     decided: Optional[List[bool]] = None
     if jobs > 1 and len(todo) > 1:
-        from repro.experiments.sweep import parallel_decisions
-        decided = parallel_decisions(family, todo, jobs, timeout=timeout,
+        if warm:
+            from repro.experiments.warm_pool import pool_decisions
+            decided = pool_decisions(family, todo, jobs, timeout=timeout,
                                      retries=retries, store=store, fkey=fkey)
+        if decided is None:
+            from repro.experiments.sweep import parallel_decisions
+            decided = parallel_decisions(family, todo, jobs, timeout=timeout,
+                                         retries=retries, store=store,
+                                         fkey=fkey)
     if decided is None:
         from repro.experiments.sweep import _decide_serial
         decided = _decide_serial(family, todo, store=store, fkey=fkey)

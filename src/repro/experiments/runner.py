@@ -117,7 +117,8 @@ def run_all(quick: bool = True,
             timeout: Optional[float] = None,
             retries: int = 1,
             trace_format: str = "binary",
-            engine: Optional[str] = None) -> List[ExperimentRecord]:
+            engine: Optional[str] = None,
+            warm: bool = True) -> List[ExperimentRecord]:
     """Run experiments and return their records in deterministic order.
 
     The order is always the request order (``only`` as given, else ids
@@ -131,6 +132,16 @@ def run_all(quick: bool = True,
     """
     ids = only if only is not None else sorted(EXPERIMENTS)
     if jobs and jobs > 1:
+        if warm:
+            # persistent lanes: worker processes (and their solver
+            # caches) survive across run_all calls; None = fall back
+            from repro.experiments import warm_pool
+            records = warm_pool.run_experiments(
+                ids, quick=quick, jobs=jobs, timeout=timeout,
+                retries=retries, trace_dir=trace_dir, profile=profile,
+                trace_format=trace_format, engine=engine)
+            if records is not None:
+                return records
         from repro.experiments.parallel import run_parallel
         return run_parallel(ids, quick=quick, jobs=jobs, timeout=timeout,
                             retries=retries, trace_dir=trace_dir,

@@ -16,10 +16,15 @@ Both intentionally stay small and dependency-free; conversion helpers to
 
 from __future__ import annotations
 
+import copyreg
 import hashlib
+import pickle
+import struct
+import sys
+import zlib
 from array import array
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, \
-    Set, Tuple
+    Set, Tuple, Union
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -85,6 +90,28 @@ def label_sort_key(v: Vertex) -> Tuple[str, str]:
             _SORT_KEY_CACHE.clear()
         sk = _SORT_KEY_CACHE[key] = (tp.__name__, repr(v))
     return sk
+
+
+#: cache entries that depend only on the *vertex set* (not on edges or
+#: weights) — they survive :meth:`Graph._dirty_edges_only`
+_VERTEX_SET_CACHES = ("sorted_vertices", "sort_keys")
+
+
+def _sort_key_maps(graph) -> Tuple[Dict[Any, Tuple[str, str]],
+                                   Dict[Any, int]]:
+    """Cached ``({vertex: label_sort_key}, {vertex: canonical position})``
+    for ``graph`` — vertex-set-derived, so it survives edge mutations
+    and rides along in ``copy()``."""
+    maps = graph._cache.get("sort_keys")
+    if maps is None:
+        verts = graph._cache.get("sorted_vertices")
+        if verts is None:
+            verts = tuple(sorted(graph.vertices(), key=label_sort_key))
+            graph._cache["sorted_vertices"] = verts
+        keys = {v: label_sort_key(v) for v in verts}
+        pos = {v: i for i, v in enumerate(verts)}
+        maps = graph._cache["sort_keys"] = (keys, pos)
+    return maps
 
 
 class CSR:
@@ -167,6 +194,345 @@ def _build_csr(adj: Dict[Vertex, Any], index: Dict[Vertex, int]) -> CSR:
         indices.extend(sorted(index[w] for w in adj[v]))
         indptr.append(len(indices))
     return CSR(labels, dict(index), indptr, indices)
+
+
+# ----------------------------------------------------------------------
+# compact binary wire format
+# ----------------------------------------------------------------------
+#
+# Frame layout (version 1, all integers little-endian):
+#
+#   magic        7 bytes   b"RPROGRF"
+#   version      u8        1
+#   flags        u8        bit0 = directed, bit1 = label table pickled
+#   n            u32       vertex count
+#   nnz          u64       len(csr.indices)
+#   width        u8        bytes per CSR entry (1, 2, or 8): the
+#                          narrowest unsigned width holding every
+#                          indptr/indices value
+#   intern table           (absent when bit1 set)
+#       count    u32
+#       entry*   u32 byte length + UTF-8 bytes, id = entry position
+#   label blob   u64 length + tagged label stream (or a pickle of the
+#                label tuple when bit1 is set — exotic label types)
+#   indptr       (n+1) * width raw
+#   indices      nnz * width raw
+#   edge weights u32 count + (u32 ui, u32 vi, f64)* — the explicit
+#                ``_edge_weight`` entries only, in dict order, endpoint
+#                indices preserving the canonical key orientation
+#   vert weights u32 count + (u32 vi, f64)*
+#   crc32        u32       over every preceding byte of the frame
+#
+# The label stream reuses the string-interning trick from the ``.rtb``
+# trace format (:mod:`repro.obs.binary`): each distinct string is
+# written once in the intern table and referenced by id.  Only the
+# *explicit* weight dicts are serialized — never the derived caches —
+# so the frame size is independent of how warmed the source graph was.
+
+_WIRE_MAGIC = b"RPROGRF"
+_WIRE_VERSION = 1
+_FLAG_DIRECTED = 0x01
+_FLAG_LABELS_PICKLED = 0x02
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_EDGE_W = struct.Struct("<IId")
+_VERT_W = struct.Struct("<Id")
+
+#: label stream tags
+(_L_INT, _L_STR, _L_TUPLE, _L_BYTES, _L_NONE, _L_FLOAT,
+ _L_FALSE, _L_TRUE) = range(8)
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+class _WireFallback(Exception):
+    """Internal: a label shape the compact stream cannot encode."""
+
+
+def _encode_label(v: Any, out: bytearray, intern: Dict[str, int]) -> None:
+    tp = type(v)
+    if tp is int:
+        # exact type check: bool is an int subclass but must round-trip
+        # as bool, and arbitrary-precision ints overflow the i64 slot
+        if _I64_MIN <= v <= _I64_MAX:
+            out += _U8.pack(_L_INT)
+            out += _I64.pack(v)
+        else:
+            raise _WireFallback
+    elif tp is str:
+        sid = intern.get(v)
+        if sid is None:
+            sid = intern[v] = len(intern)
+        out += _U8.pack(_L_STR)
+        out += _U32.pack(sid)
+    elif tp is tuple:
+        if len(v) > 0xFF:
+            raise _WireFallback
+        out += _U8.pack(_L_TUPLE)
+        out += _U8.pack(len(v))
+        for x in v:
+            _encode_label(x, out, intern)
+    elif tp is bytes:
+        out += _U8.pack(_L_BYTES)
+        out += _U32.pack(len(v))
+        out += v
+    elif v is None:
+        out += _U8.pack(_L_NONE)
+    elif tp is float:
+        out += _U8.pack(_L_FLOAT)
+        out += _F64.pack(v)
+    elif tp is bool:
+        out += _U8.pack(_L_TRUE if v else _L_FALSE)
+    else:
+        raise _WireFallback
+
+
+def _decode_label(buf: bytes, pos: int,
+                  strings: List[str]) -> Tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _L_INT:
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _L_STR:
+        return strings[_U32.unpack_from(buf, pos)[0]], pos + 4
+    if tag == _L_TUPLE:
+        arity = buf[pos]
+        pos += 1
+        items = []
+        for __ in range(arity):
+            x, pos = _decode_label(buf, pos, strings)
+            items.append(x)
+        return tuple(items), pos
+    if tag == _L_BYTES:
+        k = _U32.unpack_from(buf, pos)[0]
+        pos += 4
+        if pos + k > len(buf):
+            raise GraphError("graph wire: truncated bytes label")
+        return buf[pos:pos + k], pos + k
+    if tag == _L_NONE:
+        return None, pos
+    if tag == _L_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _L_FALSE:
+        return False, pos
+    if tag == _L_TRUE:
+        return True, pos
+    raise GraphError(f"graph wire: unknown label tag {tag}")
+
+
+def _array_le_bytes(arr: array) -> bytes:
+    if sys.byteorder == "little":
+        return arr.tobytes()
+    swapped = array(arr.typecode, arr)  # pragma: no cover - big endian
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _index_width(maxval: int) -> int:
+    if maxval < 0x100:
+        return 1
+    if maxval < 0x10000:
+        return 2
+    return 8
+
+
+def _pack_index_array(arr: array, width: int) -> bytes:
+    if width == 8:
+        return _array_le_bytes(arr)
+    narrow = array("B" if width == 1 else "H", arr)
+    if width == 2:
+        return _array_le_bytes(narrow)
+    return narrow.tobytes()
+
+
+def _unpack_index_array(buf: bytes, pos: int, count: int,
+                        width: int) -> Tuple[array, int]:
+    span = count * width
+    chunk = buf[pos:pos + span]
+    if len(chunk) != span:
+        raise GraphError("graph wire: truncated CSR arrays")
+    if width == 8:
+        out = array("q")
+        out.frombytes(chunk)
+        if sys.byteorder != "little":  # pragma: no cover - big endian
+            out.byteswap()
+    else:
+        narrow = array("B" if width == 1 else "H")
+        narrow.frombytes(chunk)
+        if width == 2 and sys.byteorder != "little":  # pragma: no cover
+            narrow.byteswap()
+        out = array("q", narrow)
+    return out, pos + span
+
+
+def graph_to_bytes(graph: Union["Graph", "DiGraph"]) -> bytes:
+    """Serialize ``graph`` to the versioned compact wire format.
+
+    The frame is backed directly by the graph's :class:`CSR` snapshot —
+    building it warms the ``csr`` cache but serializes no cache content,
+    so the blob is byte-identical however warmed the source graph is.
+    """
+    csr = graph.csr()
+    flags = _FLAG_DIRECTED if graph.directed else 0
+    intern: Dict[str, int] = {}
+    lbuf = bytearray()
+    try:
+        for v in csr.labels:
+            _encode_label(v, lbuf, intern)
+    except _WireFallback:
+        lbuf = bytearray(pickle.dumps(csr.labels,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+        flags |= _FLAG_LABELS_PICKLED
+        intern = {}
+    nnz = len(csr.indices)
+    width = _index_width(max(nnz, csr.n - 1 if csr.n else 0))
+    out = bytearray(_WIRE_MAGIC)
+    out += _U8.pack(_WIRE_VERSION)
+    out += _U8.pack(flags)
+    out += _U32.pack(csr.n)
+    out += _U64.pack(nnz)
+    out += _U8.pack(width)
+    if not flags & _FLAG_LABELS_PICKLED:
+        out += _U32.pack(len(intern))
+        for s in intern:  # insertion order == intern id order
+            sb = s.encode("utf-8")
+            out += _U32.pack(len(sb))
+            out += sb
+    out += _U64.pack(len(lbuf))
+    out += lbuf
+    out += _pack_index_array(csr.indptr, width)
+    out += _pack_index_array(csr.indices, width)
+    index = csr.index
+    ew = graph._edge_weight
+    out += _U32.pack(len(ew))
+    for (u, v), w in ew.items():
+        out += _EDGE_W.pack(index[u], index[v], w)
+    vw = graph._vertex_weight
+    out += _U32.pack(len(vw))
+    for v, w in vw.items():
+        out += _VERT_W.pack(index[v], w)
+    out += _U32.pack(zlib.crc32(out) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def graph_from_bytes(data: bytes) -> Union["Graph", "DiGraph"]:
+    """Decode a :func:`graph_to_bytes` frame into a fresh graph.
+
+    Returns a :class:`Graph` or :class:`DiGraph` according to the frame's
+    directedness flag, with its CSR substrate pre-seeded from the decoded
+    buffers.  Any corrupt, truncated, or foreign input raises a clean
+    :class:`GraphError` — never an arbitrary decoding exception.
+    """
+    buf = bytes(data)
+    if len(buf) < len(_WIRE_MAGIC) + 2 + 4 + 8 + 1 + 4:
+        raise GraphError("graph wire: truncated frame")
+    if buf[:len(_WIRE_MAGIC)] != _WIRE_MAGIC:
+        raise GraphError("graph wire: bad magic")
+    if buf[len(_WIRE_MAGIC)] != _WIRE_VERSION:
+        raise GraphError(
+            f"graph wire: unsupported version {buf[len(_WIRE_MAGIC)]}")
+    stored = _U32.unpack_from(buf, len(buf) - 4)[0]
+    if zlib.crc32(memoryview(buf)[:-4]) & 0xFFFFFFFF != stored:
+        raise GraphError("graph wire: checksum mismatch (corrupt frame)")
+    try:
+        return _decode_frame(buf)
+    except GraphError:
+        raise
+    except Exception as exc:
+        raise GraphError(f"graph wire: malformed frame ({exc!r})") from exc
+
+
+def _decode_frame(buf: bytes) -> Union["Graph", "DiGraph"]:
+    pos = len(_WIRE_MAGIC) + 1
+    flags = buf[pos]
+    pos += 1
+    n = _U32.unpack_from(buf, pos)[0]
+    pos += 4
+    nnz = _U64.unpack_from(buf, pos)[0]
+    pos += 8
+    width = buf[pos]
+    pos += 1
+    if width not in (1, 2, 8):
+        raise GraphError(f"graph wire: bad index width {width}")
+    strings: List[str] = []
+    if not flags & _FLAG_LABELS_PICKLED:
+        count = _U32.unpack_from(buf, pos)[0]
+        pos += 4
+        for __ in range(count):
+            k = _U32.unpack_from(buf, pos)[0]
+            pos += 4
+            strings.append(buf[pos:pos + k].decode("utf-8"))
+            pos += k
+    lblob_len = _U64.unpack_from(buf, pos)[0]
+    pos += 8
+    lblob = buf[pos:pos + lblob_len]
+    pos += lblob_len
+    if len(lblob) != lblob_len:
+        raise GraphError("graph wire: truncated label table")
+    if flags & _FLAG_LABELS_PICKLED:
+        labels = tuple(pickle.loads(lblob))
+    else:
+        decoded = []
+        lpos = 0
+        while lpos < lblob_len:
+            v, lpos = _decode_label(lblob, lpos, strings)
+            decoded.append(v)
+        labels = tuple(decoded)
+    if len(labels) != n:
+        raise GraphError(
+            f"graph wire: label table has {len(labels)} entries for n={n}")
+    indptr, pos = _unpack_index_array(buf, pos, n + 1, width)
+    indices, pos = _unpack_index_array(buf, pos, nnz, width)
+    if len(indptr) != n + 1 or len(indices) != nnz \
+            or indptr[0] != 0 or indptr[-1] != nnz:
+        raise GraphError("graph wire: inconsistent CSR arrays")
+    index = {v: i for i, v in enumerate(labels)}
+    if len(index) != n:
+        raise GraphError("graph wire: duplicate labels")
+    ew_count = _U32.unpack_from(buf, pos)[0]
+    pos += 4
+    edge_w = []
+    for __ in range(ew_count):
+        edge_w.append(_EDGE_W.unpack_from(buf, pos))
+        pos += _EDGE_W.size
+    vw_count = _U32.unpack_from(buf, pos)[0]
+    pos += 4
+    vert_w = []
+    for __ in range(vw_count):
+        vert_w.append(_VERT_W.unpack_from(buf, pos))
+        pos += _VERT_W.size
+    if pos != len(buf) - 4:
+        raise GraphError("graph wire: trailing bytes in frame")
+    csr = CSR(labels, index, indptr, indices)
+    g: Union[Graph, DiGraph]
+    if flags & _FLAG_DIRECTED:
+        g = DiGraph()
+        pred: Dict[Vertex, Set[Vertex]] = {v: set() for v in labels}
+        succ: Dict[Vertex, Set[Vertex]] = {}
+        for i, u in enumerate(labels):
+            row = indices[indptr[i]:indptr[i + 1]]
+            out_set = set()
+            for j in row:
+                w = labels[j]
+                out_set.add(w)
+                pred[w].add(u)
+            succ[u] = out_set
+        g._succ = succ
+        g._pred = pred
+    else:
+        g = Graph()
+        g._adj = {u: {labels[j] for j in indices[indptr[i]:indptr[i + 1]]}
+                  for i, u in enumerate(labels)}
+    # indices preserve the canonical key orientation, so the decoded
+    # dicts reproduce the originals exactly (keys and insertion order)
+    g._edge_weight = {(labels[ui], labels[vi]): w for ui, vi, w in edge_w}
+    g._vertex_weight = {labels[vi]: w for vi, w in vert_w}
+    g._cache["csr"] = csr
+    return g
 
 
 class GraphKernel:
@@ -330,6 +696,20 @@ class Graph:
         if self._cache:
             self._cache.clear()
 
+    def _dirty_edges_only(self) -> None:
+        """Invalidate for an edge insert/removal between *existing*
+        vertices: everything adjacency-derived dies, but the vertex-set
+        caches (canonical order, per-label sort keys) stay valid — they
+        depend only on which vertices exist.  This is the delta-build
+        hot path: ``apply_inputs`` toggles a handful of edges on a
+        skeleton copy, and the copy keeps the skeleton's vertex order."""
+        self._generation += 1
+        if self._cache:
+            keep = [(k, self._cache[k]) for k in _VERTEX_SET_CACHES
+                    if k in self._cache]
+            self._cache.clear()
+            self._cache.update(keep)
+
     def _dirty_vertex_weights(self) -> None:
         """Invalidate only vertex-weight-dependent caches.  Adjacency,
         edge lists, kernels and distances are untouched by a vertex
@@ -412,12 +792,16 @@ class Graph:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
         if u == v:
             raise GraphError(f"self loop on {u!r} rejected")
+        known = u in self._adj and v in self._adj
         self.add_vertex(u)
         self.add_vertex(v)
         if v not in self._adj[u]:
             self._adj[u].add(v)
             self._adj[v].add(u)
-            self._dirty()
+            if known:
+                self._dirty_edges_only()
+            else:
+                self._dirty()
         if weight is not None:
             key = self._key(u, v)
             if self._edge_weight.get(key) != weight:
@@ -441,7 +825,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._edge_weight.pop(self._key(u, v), None)
-        self._dirty()
+        self._dirty_edges_only()
 
     def remove_vertex(self, v: Vertex) -> None:
         if v not in self._adj:
@@ -590,6 +974,33 @@ class Graph:
         return digest
 
     # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Versioned compact binary frame of this graph's full content
+        (see :func:`graph_to_bytes`); decode with :meth:`from_bytes`."""
+        return graph_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Graph":
+        """Decode a :meth:`to_bytes` frame; raises :class:`GraphError`
+        on corrupt input or a frame that encodes a digraph."""
+        g = graph_from_bytes(data)
+        if g.directed:
+            raise GraphError("graph wire: frame encodes a DiGraph, "
+                             "not a Graph")
+        return g
+
+    def __reduce__(self):
+        # every pickle site (fork payloads, sweep shards, disk caches)
+        # rides the compact wire format; subclasses fall back to the
+        # generic reconstructor since their extra state is unknown here
+        if type(self) is Graph:
+            return (graph_from_bytes, (graph_to_bytes(self),))
+        return (copyreg._reconstructor, (type(self), object, None),
+                self.__dict__)
+
+    # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
@@ -606,7 +1017,7 @@ class Graph:
         # it stamps *this* graph's generation and holds its BFS caches,
         # so each graph gets its own.
         cache = self._cache
-        for key in ("sorted_vertices", "edges", "edge_weights",
+        for key in ("sorted_vertices", "sort_keys", "edges", "edge_weights",
                     "csr", "csr_weights", "all_pairs", "content_hash"):
             val = cache.get(key)
             if val is not None:
@@ -741,6 +1152,16 @@ class DiGraph:
         if self._cache:
             self._cache.clear()
 
+    def _dirty_edges_only(self) -> None:
+        # same contract as Graph._dirty_edges_only: arc flips between
+        # existing vertices keep the vertex-set caches alive
+        self._generation += 1
+        if self._cache:
+            keep = [(k, self._cache[k]) for k in _VERTEX_SET_CACHES
+                    if k in self._cache]
+            self._cache.clear()
+            self._cache.update(keep)
+
     def csr(self) -> CSR:
         """Cached :class:`CSR` snapshot of the *successor* adjacency
         (row ``i`` lists out-neighbours; same index space contract as
@@ -776,12 +1197,16 @@ class DiGraph:
     def add_edge(self, u: Vertex, v: Vertex, weight: Optional[float] = None) -> None:
         if u == v:
             raise GraphError(f"self loop on {u!r} rejected")
+        known = u in self._succ and v in self._succ
         self.add_vertex(u)
         self.add_vertex(v)
         if v not in self._succ[u]:
             self._succ[u].add(v)
             self._pred[v].add(u)
-            self._dirty()
+            if known:
+                self._dirty_edges_only()
+            else:
+                self._dirty()
         if weight is not None and self._edge_weight.get((u, v)) != weight:
             self._edge_weight[(u, v)] = weight
             self._dirty_edge_weights()
@@ -857,6 +1282,27 @@ class DiGraph:
             digest = self._cache["content_hash"] = _content_hash(self)
         return digest
 
+    def to_bytes(self) -> bytes:
+        """Versioned compact binary frame (see :func:`graph_to_bytes`);
+        decode with :meth:`from_bytes`."""
+        return graph_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DiGraph":
+        """Decode a :meth:`to_bytes` frame; raises :class:`GraphError`
+        on corrupt input or a frame that encodes an undirected graph."""
+        g = graph_from_bytes(data)
+        if not g.directed:
+            raise GraphError("graph wire: frame encodes a Graph, "
+                             "not a DiGraph")
+        return g
+
+    def __reduce__(self):
+        if type(self) is DiGraph:
+            return (graph_from_bytes, (graph_to_bytes(self),))
+        return (copyreg._reconstructor, (type(self), object, None),
+                self.__dict__)
+
     def copy(self) -> "DiGraph":
         """Structural copy that carries over still-valid caches (see
         :meth:`Graph.copy`; all DiGraph caches are plain values, so every
@@ -866,7 +1312,8 @@ class DiGraph:
         g._pred = {v: set(p) for v, p in self._pred.items()}
         g._vertex_weight = dict(self._vertex_weight)
         g._edge_weight = dict(self._edge_weight)
-        for key in ("csr", "edge_weights", "content_hash"):
+        for key in ("csr", "edge_weights", "content_hash",
+                    "sorted_vertices", "sort_keys"):
             val = self._cache.get(key)
             if val is not None:
                 g._cache[key] = val
@@ -902,27 +1349,27 @@ def _content_hash(graph) -> str:
     in canonical label order, guarding against label-key collisions."""
     h = hashlib.sha256()
     h.update(b"digraph;" if graph.directed else b"graph;")
-    if graph.directed:
-        verts = sorted(graph.vertices(), key=label_sort_key)
-    else:
-        verts = list(graph.sorted_vertices())
-    keys = [label_sort_key(v) for v in verts]
-    for a, b, ka, kb in zip(verts, verts[1:], keys, keys[1:]):
-        if a != b and ka == kb:
+    keys, pos = _sort_key_maps(graph)
+    verts = graph._cache["sorted_vertices"]
+    for a, b in zip(verts, verts[1:]):
+        if keys[a] == keys[b]:
             raise GraphError(
                 f"label collision: distinct vertices {a!r} and {b!r} have "
-                f"identical sort key {ka}")
+                f"identical sort key {keys[a]}")
     vweights = graph._vertex_weight
-    for v, (tname, rep) in zip(verts, keys):
+    for v in verts:
+        tname, rep = keys[v]
         h.update(f"V|{tname}|{rep}|{vweights.get(v, 1.0)!r};".encode())
     # Graph.edges() already yields canonical (sorted-endpoint) keys;
-    # DiGraph.edges() yields arcs, whose direction is part of the key
-    arcs = sorted(graph.edges(),
-                  key=lambda e: (label_sort_key(e[0]), label_sort_key(e[1])))
+    # DiGraph.edges() yields arcs, whose direction is part of the key.
+    # Sorting by cached canonical *position* is equivalent to sorting by
+    # label_sort_key (the positions are assigned in key order and the
+    # collision guard above makes the order strict).
+    arcs = sorted(graph.edges(), key=lambda e: (pos[e[0]], pos[e[1]]))
     eweights = graph._edge_weight
     for u, v in arcs:
-        tu, ru = label_sort_key(u)
-        tv, rv = label_sort_key(v)
+        tu, ru = keys[u]
+        tv, rv = keys[v]
         h.update(f"E|{tu}|{ru}|{tv}|{rv}|{eweights.get((u, v), 1.0)!r};".encode())
     return h.hexdigest()
 

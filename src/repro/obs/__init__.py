@@ -57,12 +57,14 @@ from repro.obs.profile import (
     diff_cache_stats,
     diff_profile,
     format_cache_stats,
+    format_warm_pool_stats,
     format_profile,
     profile_block,
     profile_stats,
     profiled,
     reset_profile_stats,
     solver_cache_stats,
+    warm_pool_stats,
     top_profile,
 )
 from repro.obs.report import (
@@ -105,8 +107,10 @@ __all__ = [
     "top_profile",
     "format_profile",
     "solver_cache_stats",
+    "warm_pool_stats",
     "diff_cache_stats",
     "format_cache_stats",
+    "format_warm_pool_stats",
     "render_report",
     "select_run",
     "render_bench_report",

@@ -153,3 +153,29 @@ def format_cache_stats(stats: Dict[str, "CacheStats"]) -> str:
     ranked = sorted(stats.items(),
                     key=lambda kv: -(kv[1].hits + kv[1].misses))
     return "; ".join(f"{name} {s.hits}h/{s.misses}m" for name, s in ranked)
+
+
+# ----------------------------------------------------------------------
+# warm-pool counters (owned by repro.experiments.warm_pool; surfaced
+# here so campaign tooling reports payload/broadcast economics next to
+# the solver-cache numbers)
+# ----------------------------------------------------------------------
+def warm_pool_stats() -> Dict[str, int]:
+    """Snapshot of the persistent warm worker pool's cumulative
+    counters (broadcasts, payload bytes, warm hits, lane respawns);
+    all zeros when no pool has been created."""
+    from repro.experiments.warm_pool import pool_stats
+    return pool_stats()
+
+
+def format_warm_pool_stats(stats: Dict[str, int]) -> str:
+    """Compact one-line rendering of :func:`warm_pool_stats`."""
+    pairs = stats.get("pairs_shipped", 0)
+    per_pair = (stats.get("pair_payload_bytes", 0) / pairs) if pairs else 0.0
+    return (f"lanes={stats.get('lanes', 0)} "
+            f"broadcasts={stats.get('broadcasts', 0)} "
+            f"({stats.get('broadcast_bytes', 0)}B"
+            f"{', shm' if stats.get('shm_segments', 0) else ''}) "
+            f"pairs={pairs} ({per_pair:.1f}B/pair) "
+            f"warm_hits={stats.get('warm_hits', 0)} "
+            f"respawns={stats.get('lane_respawns', 0)}")
