@@ -28,6 +28,8 @@ Usage
 The regression gate compares against the *latest* entry for each bench,
 so after a deliberate perf change you re-run with ``--update`` and
 commit the JSON; the next CI run gates against the new numbers.
+Sub-200ms benches are topped up to at least 3 reps and gated on
+best-of-N (``min_ms``) rather than the noisier p50.
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 # delta/regression arithmetic shared with `repro report bench`, so the
 # CLI view and this gate can never disagree about what regressed
+from repro.obs.profile import percentile  # noqa: E402
 from repro.obs.report.bench_view import (  # noqa: E402
     DEFAULT_TOLERANCE,
     BenchHistoryError,
@@ -59,6 +62,11 @@ from repro.obs.report.bench_view import (  # noqa: E402
 
 BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_simulator.json")
 REGRESSION_TOLERANCE = DEFAULT_TOLERANCE  # fail beyond this p50 growth
+
+#: benches whose p50 sits under this are in scheduler-noise territory:
+#: ``time_bench`` tops them up to >=3 reps and the regression gate
+#: compares best-of-N (``min_ms``) instead of a single noisy p50
+NOISE_FLOOR_MS = 200.0
 
 
 def _cold_experiment(experiment_id: str,
@@ -107,7 +115,11 @@ def _family_sweep(scratch: bool) -> Callable[[], None]:
         pairs = random_input_pairs(fam.k_bits, 32, random.Random(0xD15C))
         validate_family(fam, input_pairs=pairs[:6])
         for __ in range(16):
-            verify_iff(fam, pairs, negate=True, memo=not scratch)
+            # the batched kernel bypasses build() entirely, so the
+            # scratch leg must pin batch=False or the build_scratch
+            # monkeypatch would time nothing
+            verify_iff(fam, pairs, negate=True, memo=not scratch,
+                       batch=not scratch)
     return run
 
 
@@ -116,7 +128,8 @@ def _family_sweep(scratch: bool) -> Callable[[], None]:
 _GRID_STORE: List[str] = []
 
 
-def _family_sweep_grid(resumed: bool) -> Callable[[], None]:
+def _family_sweep_grid(resumed: bool,
+                       batched: bool = False) -> Callable[[], None]:
     """A full 2^k_bits x 2^k_bits grid sweep of HamiltonianCycleFamily(2)
     (256 pairs) through a :class:`SweepStore` — the ``verify --grid``
     workload.
@@ -125,6 +138,11 @@ def _family_sweep_grid(resumed: bool) -> Callable[[], None]:
     per rep; ``resumed=True`` sweeps against a store warmed once for the
     process, so every decision is a disk restore.  The recorded pair
     documents the cross-run memo-hit speedup of the result store.
+
+    ``batched`` routes the cold decisions through the family's batched
+    decision kernel; the unbatched cold bench pins ``batch=False`` so
+    its baseline keeps meaning per-pair solver cost, and the recorded
+    cold/batched pair documents the kernel's amortization.
     """
     def run() -> None:
         import shutil
@@ -146,16 +164,20 @@ def _family_sweep_grid(resumed: bool) -> Callable[[], None]:
             if not _GRID_STORE:
                 warm = tempfile.mkdtemp(prefix="bench-sweep-store-")
                 sweep(HamiltonianCycleFamily(2), pairs,
-                      store=SweepStore(warm))
+                      store=SweepStore(warm), batch=batched)
                 _GRID_STORE.append(warm)
-            report = sweep(fam, pairs, store=SweepStore(_GRID_STORE[0]))
+            report = sweep(fam, pairs, store=SweepStore(_GRID_STORE[0]),
+                           batch=batched)
             assert report.store_hits == report.unique_pairs, report
             assert report.solved == 0, report
         else:
             cold = tempfile.mkdtemp(prefix="bench-sweep-store-")
             try:
-                report = sweep(fam, pairs, store=SweepStore(cold))
+                report = sweep(fam, pairs, store=SweepStore(cold),
+                               batch=batched)
                 assert report.solved == report.unique_pairs, report
+                if batched:
+                    assert report.batched == report.solved, report
             finally:
                 shutil.rmtree(cold, ignore_errors=True)
     return run
@@ -343,6 +365,10 @@ BENCHES: Dict[str, Callable[[], None]] = {
     "bench_family_sweep_scratch": _family_sweep(scratch=True),
     # full-grid sweep cold vs restored from the content-addressed store
     "bench_family_sweep_grid": _family_sweep_grid(resumed=False),
+    # the same cold grid through the batched decision kernel (the
+    # per-pair/batched pair documents the kernel's amortization)
+    "bench_family_sweep_grid_batched":
+        _family_sweep_grid(resumed=False, batched=True),
     "bench_family_sweep_resumed": _family_sweep_grid(resumed=True),
     # the same grid through the persistent warm pool (cross-call reuse)
     "bench_family_sweep_grid_warm": _family_sweep_grid_warm(),
@@ -356,7 +382,8 @@ BENCHES: Dict[str, Callable[[], None]] = {
 QUICK_BENCHES = ("simulator_flood", "simulator_flood_vectorized",
                  "bench_family_sweep", "bench_congest_maxcut_vectorized",
                  "bench_family_sweep_resumed",
-                 "bench_family_sweep_grid_warm", "bench_graph_wire")
+                 "bench_family_sweep_grid_warm",
+                 "bench_family_sweep_grid_batched", "bench_graph_wire")
 
 
 def git_sha() -> str:
@@ -375,11 +402,39 @@ def time_bench(fn: Callable[[], None], reps: int) -> Dict[str, float]:
         start = time.perf_counter()
         fn()
         samples.append((time.perf_counter() - start) * 1000.0)
+    # sub-200ms benches live in scheduler-noise territory: top up to at
+    # least 3 samples so min_ms is a best-of-N, not a single roll
+    while (statistics.median(samples) < NOISE_FLOOR_MS
+           and len(samples) < max(3, reps)):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
     return {
         "p50_ms": round(statistics.median(samples), 2),
+        "p95_ms": round(percentile(samples, 95), 2),
         "min_ms": round(min(samples), 2),
-        "reps": reps,
+        "reps": len(samples),
     }
+
+
+def gate_delta(base: Dict[str, float],
+               result: Dict[str, float]) -> "float | None":
+    """The fractional growth the regression gate judges.
+
+    Benches at or above :data:`NOISE_FLOOR_MS` gate on the p50 delta
+    (same arithmetic as ``repro report bench``).  Sub-floor benches
+    gate on best-of-N (``min_ms``) instead — a couple of descheduled
+    reps can double a 40ms p50, but the best rep is stable — falling
+    back to the p50 delta for histories recorded before ``min_ms``.
+    """
+    delta = bench_delta(base, result)
+    if result.get("p50_ms", NOISE_FLOOR_MS) >= NOISE_FLOOR_MS:
+        return delta
+    prev_best = base.get("min_ms")
+    cur_best = result.get("min_ms")
+    if not prev_best or cur_best is None:
+        return delta
+    return (cur_best - prev_best) / prev_best
 
 
 def compare_history(history: Dict[str, List[Dict]], names: List[str]) -> None:
@@ -457,14 +512,21 @@ def main(argv=None) -> int:
         base = latest_entry(history, name)
         base_p50 = base.get("p50_ms")
         delta = bench_delta(base, result)
+        gated = gate_delta(base, result)
         if delta is not None:
             delta_s = f"{delta:+.0%}"
-            if delta > REGRESSION_TOLERANCE:
+            if gated is not None and gated > REGRESSION_TOLERANCE:
+                via_best = result.get("p50_ms", 0) < NOISE_FLOOR_MS
                 regressions.append(
-                    f"{name}: p50 {result['p50_ms']}ms vs baseline "
-                    f"{base_p50}ms ({delta:+.0%} > "
-                    f"{REGRESSION_TOLERANCE:.0%} tolerance, "
-                    f"baseline sha {base.get('sha', '?')})")
+                    f"{name}: "
+                    + (f"best-of-{result['reps']} {result['min_ms']}ms vs "
+                       f"baseline best {base.get('min_ms')}ms"
+                       if via_best and base.get("min_ms") else
+                       f"p50 {result['p50_ms']}ms vs baseline "
+                       f"{base_p50}ms")
+                    + (f" ({gated:+.0%} > "
+                       f"{REGRESSION_TOLERANCE:.0%} tolerance, "
+                       f"baseline sha {base.get('sha', '?')})"))
         else:
             delta_s = "(new)"
         print(f"{name:<34} {result['p50_ms']:>10.2f} "

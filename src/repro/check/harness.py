@@ -133,6 +133,11 @@ def _sweep_store(case: Case) -> Optional[str]:
     return check_sweep_store(case.seed, case.index)
 
 
+def _batch_kernels(case: Case) -> Optional[str]:
+    from repro.check.batch_check import check_batch_kernels
+    return check_batch_kernels(case.seed, case.index)
+
+
 def _small(limit_n: int, limit_m: int = 10 ** 9,
            fuzz_only: bool = True) -> Callable[[Case], bool]:
     def applies(case: Case) -> bool:
@@ -278,6 +283,12 @@ def _build_checks() -> List[Check]:
         # corruption path and both family parities get exercised per run
         Check("sweep:store-equivalence", "family", _sweep_store,
               lambda c: c.family == "er" and c.index < 2, shrinkable=False),
+        # -- batched kernels vs per-pair delta vs scratch -------------------
+        # independent of the fuzz graph (seeded kernel-bearing families,
+        # promise-violating pairs, invalidation leg); piggybacked on two
+        # er cases so both family triples get exercised per run
+        Check("family:batch-equivalence", "family", _batch_kernels,
+              lambda c: c.family == "er" and c.index < 2, shrinkable=False),
     ]
     return checks
 
@@ -327,6 +338,16 @@ class CheckReport:
     #: how many times each named check actually ran (sums to
     #: ``checks_run``) — the coverage table ``repro report fuzz`` shows.
     check_counts: Dict[str, int] = field(default_factory=dict)
+    #: per-check wall-clock samples in milliseconds, one per run —
+    #: summarized to p50/p95 in the JSON artifact and the fuzz report.
+    check_ms: Dict[str, List[float]] = field(default_factory=dict)
+
+    def check_latency(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95 per check name, from the collected samples."""
+        from repro.obs.profile import percentile
+        return {name: {"p50_ms": round(percentile(samples, 50), 3),
+                       "p95_ms": round(percentile(samples, 95), 3)}
+                for name, samples in sorted(self.check_ms.items())}
 
     @property
     def ok(self) -> bool:
@@ -362,6 +383,7 @@ class CheckReport:
             "deep": self.deep, "cases_run": self.cases_run,
             "checks_run": self.checks_run, "elapsed": self.elapsed,
             "check_counts": dict(sorted(self.check_counts.items())),
+            "check_latency": self.check_latency(),
             "ok": self.ok,
             "failures": [f.to_json() for f in self.failures],
         }
@@ -407,15 +429,20 @@ def _shrink_failure(check: Check, case: Case) -> Optional[Dict[str, Any]]:
 
 def _run_cases(cases: Sequence[Case],
                do_shrink: bool = True,
-               ) -> Tuple[Dict[str, int], List[CheckFailure]]:
+               ) -> Tuple[Dict[str, int], Dict[str, List[float]],
+                          List[CheckFailure]]:
     check_counts: Dict[str, int] = {}
+    check_ms: Dict[str, List[float]] = {}
     failures: List[CheckFailure] = []
     for case in cases:
         for check in CHECKS:
             if not check.applies(case):
                 continue
             check_counts[check.name] = check_counts.get(check.name, 0) + 1
+            t0 = time.perf_counter()
             detail = _run_one(check, case)
+            check_ms.setdefault(check.name, []).append(
+                (time.perf_counter() - t0) * 1000.0)
             if detail is None:
                 continue
             failure = CheckFailure(
@@ -425,13 +452,14 @@ def _run_cases(cases: Sequence[Case],
             if do_shrink:
                 failure.shrunk = _shrink_failure(check, case)
             failures.append(failure)
-    return check_counts, failures
+    return check_counts, check_ms, failures
 
 
 def _run_cases_traced(cases: Sequence[Case], do_shrink: bool,
                       trace_dir: Optional[str], trace_format: str,
                       prefix: str,
-                      ) -> Tuple[Dict[str, int], List[CheckFailure]]:
+                      ) -> Tuple[Dict[str, int], Dict[str, List[float]],
+                                 List[CheckFailure]]:
     """``_run_cases`` inside an ambient trace region when requested, so
     every CONGEST simulator the checks construct streams its events to
     ``trace_dir/<prefix>-NNNN.*``."""
@@ -444,7 +472,8 @@ def _run_cases_traced(cases: Sequence[Case], do_shrink: bool,
 
 def _parallel_worker(args: Tuple[int, str, List[Tuple[str, int]], bool, bool,
                                  Optional[str], str, int],
-                     ) -> Tuple[Dict[str, int], List[CheckFailure]]:
+                     ) -> Tuple[Dict[str, int], Dict[str, List[float]],
+                                List[CheckFailure]]:
     """Rebuild a chunk of cases from their keys and check them."""
     seed, __, keys, deep, do_shrink, trace_dir, trace_format, chunk_no = args
     cases = [make_case(seed, fam, idx, deep=deep) for fam, idx in keys]
@@ -459,7 +488,7 @@ def _parallel_worker(args: Tuple[int, str, List[Tuple[str, int]], bool, bool,
             check="harness", family="-", index=-1, seed=seed,
             case_name=f"worker chunk {keys!r}",
             detail="EXCEPTION in check worker:\n" + traceback.format_exc())
-        return {}, [failure]
+        return {}, {}, [failure]
 
 
 def run_check(seed: int = 0, cases: int = 50, family: str = "all",
@@ -488,10 +517,9 @@ def run_check(seed: int = 0, cases: int = 50, family: str = "all",
     all_cases = generate_cases(seed, cases, family=family, deep=deep)
     report.cases_run = len(all_cases)
     if jobs == 1 or len(all_cases) <= 1:
-        counts, failures = _run_cases_traced(
+        parts = [_run_cases_traced(
             all_cases, do_shrink, trace_dir, trace_format,
-            prefix=f"check-seed{seed}")
-        parts = [(counts, failures)]
+            prefix=f"check-seed{seed}")]
     else:
         from concurrent import futures
         from repro.experiments.parallel import _mp_context
@@ -506,10 +534,12 @@ def run_check(seed: int = 0, cases: int = 50, family: str = "all",
                 [(seed, family, part, deep, do_shrink,
                   trace_dir, trace_format, no)
                  for no, part in enumerate(chunks)]))
-    for counts, failures in parts:
+    for counts, latencies, failures in parts:
         for name, count in counts.items():
             report.check_counts[name] = \
                 report.check_counts.get(name, 0) + count
+        for name, samples in latencies.items():
+            report.check_ms.setdefault(name, []).extend(samples)
         report.checks_run += sum(counts.values())
         report.failures.extend(failures)
     report.elapsed = time.monotonic() - started

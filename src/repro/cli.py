@@ -151,6 +151,14 @@ def _verify_grid(fam, args: argparse.Namespace) -> None:
           f"{report.solved} freshly solved, 0 remaining)")
     print(f"  store hits: {report.store_hits}/{report.unique_pairs} "
           f"({hit_pct:.1f}%)")
+    if report.batched:
+        print(f"  batched kernel: {report.batched}/{report.solved} "
+              f"solved pairs")
+    if report.solve_ms:
+        from repro.obs.profile import percentile
+        print(f"  decision latency: p50={percentile(report.solve_ms, 50):.3f}ms "
+              f"p95={percentile(report.solve_ms, 95):.3f}ms "
+              f"over {len(report.solve_ms)} decided pairs")
     # every decision is already memoized, so the iff check re-solves
     # nothing — it only compares each decision against f(x, y)
     iff = verify_iff(fam, pairs, negate=True)
@@ -160,6 +168,26 @@ def _verify_grid(fam, args: argparse.Namespace) -> None:
         raise SystemExit(
             f"store hit rate {hit_pct:.1f}% below the required "
             f"{args.expect_store_hits:.1f}% (resume/caching regression?)")
+    if args.recheck_batch:
+        # satellite of the batched-kernel protocol: a *fresh* family's
+        # decide_batch over the full grid must match every stored entry
+        fresh = _build(args.family, args.k)
+        batched = fresh.decide_batch(None, pairs)
+        if batched is None:
+            raise SystemExit(
+                f"--recheck-batch: {type(fresh).__name__} has no batch "
+                f"kernel to re-check with")
+        stored = store.load_pairs(fkey)
+        mismatches = sum(
+            1 for key, dec in batched.items()
+            if key in stored and stored[key] != dec)
+        unstored = sum(1 for key in batched if key not in stored)
+        print(f"  batch recheck: {len(batched)} kernel decisions vs "
+              f"{len(stored)} stored entries -> {mismatches} mismatches")
+        if mismatches or unstored:
+            raise SystemExit(
+                f"--recheck-batch: {mismatches} kernel/store mismatches, "
+                f"{unstored} pairs missing from the store")
 
 
 def cmd_verify(args: argparse.Namespace) -> None:
@@ -170,6 +198,8 @@ def cmd_verify(args: argparse.Namespace) -> None:
         configure_sweep(args.sweep_jobs)
     if args.no_warm_pool:
         configure_sweep(warm=False)
+    if args.no_batch:
+        configure_sweep(batch=False)
     fam = _build(args.family, args.k)
     if args.grid:
         if args.xbits is not None or args.ybits is not None:
@@ -301,6 +331,22 @@ def _report_fuzz(args: argparse.Namespace) -> None:
         raise SystemExit(str(exc))
 
 
+def _report_pool(args: argparse.Namespace) -> None:
+    """``repro report pool``: the process-wide warm-pool counters —
+    broadcast/payload economics, warm memo hits, and the batched-kernel
+    counters (pairs answered by kernels, kernel-state hits/misses)."""
+    from repro.obs.profile import format_warm_pool_stats, warm_pool_stats
+
+    stats = warm_pool_stats()
+    print(format_warm_pool_stats(stats))
+    for key in sorted(stats):
+        print(f"  {key:>22}: {stats[key]}")
+    if not stats.get("pairs_shipped") and not stats.get("lanes"):
+        print("  (no warm pool has run in this process; the counters "
+              "are cumulative per process, so this view is most useful "
+              "from code that drives sweeps and then reports)")
+
+
 def _report_convert(args: argparse.Namespace) -> None:
     from repro.obs import convert_trace
 
@@ -325,13 +371,15 @@ def cmd_report(args: argparse.Namespace) -> None:
         _report_bench(args)
     elif what == "fuzz":
         _report_fuzz(args)
+    elif what == "pool":
+        _report_pool(args)
     elif what == "convert":
         _report_convert(args)
     else:
         # legacy spelling: `repro report <trace-file>`
         if args.path is not None:
             raise SystemExit(f"unknown report view {what!r}; expected "
-                             "trace, bench, fuzz, or convert")
+                             "trace, bench, fuzz, pool, or convert")
         _report_trace(what, args)
 
 
@@ -363,6 +411,10 @@ def main(argv: Optional[list] = None) -> None:
     p.add_argument("--no-warm-pool", action="store_true",
                    help="route parallel sweeps through throwaway cold "
                         "pools instead of the persistent warm pool")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable batched decision kernels; every pair "
+                        "goes through the per-pair predicate(build(x,y)) "
+                        "path")
     p.add_argument("--grid", action="store_true",
                    help="decide the predicate over the FULL 2^k x 2^k "
                         "input grid through the persistent sweep store, "
@@ -375,6 +427,11 @@ def main(argv: Optional[list] = None) -> None:
                    metavar="PCT",
                    help="with --grid: exit nonzero when the store served "
                         "fewer than PCT%% of the grid (the CI resume gate)")
+    p.add_argument("--recheck-batch", action="store_true",
+                   help="with --grid: after the sweep, re-decide the full "
+                        "grid through a fresh family's batch kernel and "
+                        "exit nonzero unless every decision matches the "
+                        "stored entries (the CI batched-path gate)")
 
     p = sub.add_parser("experiments", help="run the per-theorem experiments")
     p.add_argument("--full", action="store_true")
@@ -459,12 +516,15 @@ def main(argv: Optional[list] = None) -> None:
                     "bench [FILE]` renders the p50-per-SHA trajectory "
                     "from BENCH_simulator.json; `report fuzz DIR` "
                     "summarizes a `check --report-dir` directory; "
-                    "`report convert SRC DST` converts a trace between "
-                    "formats.  `report FILE` (no view keyword) is the "
-                    "legacy spelling of `report trace FILE`.")
+                    "`report pool` prints the warm worker pool's "
+                    "cumulative counters (incl. batched-kernel state "
+                    "hits/misses); `report convert SRC DST` converts a "
+                    "trace between formats.  `report FILE` (no view "
+                    "keyword) is the legacy spelling of `report trace "
+                    "FILE`.")
     p.add_argument("what", metavar="VIEW",
-                   help="trace | bench | fuzz | convert, or directly a "
-                        "trace path (legacy)")
+                   help="trace | bench | fuzz | pool | convert, or "
+                        "directly a trace path (legacy)")
     p.add_argument("path", nargs="?", default=None,
                    help="trace file / bench history / fuzz report dir / "
                         "conversion source, per the view")

@@ -64,16 +64,24 @@ _SWEEP_STORE_CACHE: Dict[str, Any] = {}
 #: scheduler; set via :func:`configure_sweep` (``--no-sweep-warm``).
 _DEFAULT_SWEEP_WARM = True
 
+#: whether sweeps consult a family's batched decision kernel
+#: (:meth:`DeltaBuildMixin.decide_batch`) for pairs that survive
+#: memo/store dedup; set via :func:`configure_sweep` (``--no-batch``).
+_DEFAULT_SWEEP_BATCH = True
+
 
 def configure_sweep(jobs: Optional[int] = None,
                     store_dir: Any = _UNSET,
-                    warm: Optional[bool] = None) -> None:
+                    warm: Optional[bool] = None,
+                    batch: Optional[bool] = None) -> None:
     """Set sweep defaults: ``jobs`` workers for predicate fan-out
     (``1`` is serial), a persistent result-store directory (``None``
-    disables the store), and/or ``warm`` routing of parallel sweeps
-    through the persistent warm pool.  Fork-based experiment workers
-    inherit all three settings."""
+    disables the store), ``warm`` routing of parallel sweeps through
+    the persistent warm pool, and/or ``batch`` use of batched decision
+    kernels.  Fork-based experiment workers inherit all four
+    settings."""
     global _DEFAULT_SWEEP_JOBS, _SWEEP_STORE_DIR, _DEFAULT_SWEEP_WARM
+    global _DEFAULT_SWEEP_BATCH
     if jobs is not None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -82,6 +90,8 @@ def configure_sweep(jobs: Optional[int] = None,
         _SWEEP_STORE_DIR = os.fspath(store_dir) if store_dir else None
     if warm is not None:
         _DEFAULT_SWEEP_WARM = bool(warm)
+    if batch is not None:
+        _DEFAULT_SWEEP_BATCH = bool(batch)
 
 
 def _configured_store():
@@ -133,8 +143,11 @@ class DeltaBuildMixin:
     #: so pickling strips them — a fan-out payload must not grow with
     #: sweep history (workers rebuild the skeleton once each, and
     #: shipping thousands of memoized decisions they never read would
-    #: dwarf the family itself).
-    _PICKLE_TRANSIENT = ("_skeleton_store", "_sweep_memo")
+    #: dwarf the family itself).  Batch-kernel state rides along:
+    #: kernels hold solver tables derived from the skeleton, so workers
+    #: rebuild them once per lane rather than unpickling them.
+    _PICKLE_TRANSIENT = ("_skeleton_store", "_sweep_memo",
+                         "_batch_kernel", "_kernel_events")
 
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
@@ -194,6 +207,157 @@ class DeltaBuildMixin:
         self._require_inputs(x, y)
         self.apply_inputs(g, x, y)
         return g
+
+    # ------------------------------------------------------------------
+    # batched decision kernels
+    # ------------------------------------------------------------------
+    def make_batch_kernel(self, skeleton: AnyGraph) -> Optional[Any]:
+        """Build a batched decision kernel from ``skeleton``, or None.
+
+        A kernel carries solver-side state precomputed from the
+        input-independent skeleton (ball-mask tables, successor
+        bitmasks, cut-landscape tables — see
+        :mod:`repro.solvers.batch_kernels`) and exposes
+        ``decide(x, y) -> bool`` answering the family predicate by
+        evaluating only the delta, plus a ``monotone`` flag declaring
+        the predicate monotone non-decreasing in every input bit.
+        Returning None (the default, and the escape hatch for
+        parameter regimes a kernel cannot handle) sends every pair down
+        the per-pair ``predicate(build(x, y))`` path.
+        """
+        return None
+
+    def supports_batch(self) -> bool:
+        """Whether this family can answer through a batched kernel.
+
+        A kernel bakes in the predicate semantics of the class that
+        defined :meth:`make_batch_kernel`; a subclass (or instance
+        monkeypatch) that changes ``predicate`` or ``build`` without
+        also overriding the kernel factory would silently get the
+        *parent's* answers, so those cases decline batching and fall
+        back to the per-pair path.
+        """
+        cls = type(self)
+        if cls.make_batch_kernel is DeltaBuildMixin.make_batch_kernel:
+            return False
+        if "predicate" in self.__dict__ or "build" in self.__dict__:
+            return False
+        kernel_owner = next(c for c in cls.__mro__
+                            if "make_batch_kernel" in vars(c))
+        for meth in ("predicate", "build"):
+            owner = next((c for c in cls.__mro__ if meth in vars(c)), None)
+            if (owner is not None and owner is not kernel_owner
+                    and issubclass(owner, kernel_owner)):
+                return False
+        return True
+
+    def kernel_events(self) -> Dict[str, int]:
+        """Lifetime kernel-state counters for this instance:
+        ``state_hits`` (a cached kernel matched the current skeleton's
+        content hash) and ``state_misses`` (a kernel was built — first
+        use or hash change)."""
+        events = getattr(self, "_kernel_events", None)
+        if events is None:
+            events = self._kernel_events = {"state_hits": 0,
+                                            "state_misses": 0}
+        return events
+
+    def _batch_kernel_for(self, skeleton: AnyGraph) -> Optional[Any]:
+        """The cached kernel for ``skeleton``, keyed on its content
+        hash — a skeleton whose content changed (or a different
+        skeleton object) invalidates the cache and rebuilds."""
+        chash = skeleton.content_hash()
+        cached = getattr(self, "_batch_kernel", None)
+        events = self.kernel_events()
+        if cached is not None and cached[0] == chash:
+            events["state_hits"] += 1
+            return cached[1]
+        events["state_misses"] += 1
+        kernel = self.make_batch_kernel(skeleton)
+        self._batch_kernel = (chash, kernel)
+        return kernel
+
+    def decide_batch(
+        self,
+        skeleton: Optional[AnyGraph],
+        pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        timings: Optional[Dict[Tuple[Bits, Bits], float]] = None,
+    ) -> Optional[Dict[Tuple[Bits, Bits], bool]]:
+        """Decide the predicate for ``pairs`` through the batched
+        kernel, or return None when no kernel applies.
+
+        ``skeleton`` defaults to this instance's cached skeleton store
+        (read-only — kernels must not mutate it).  The kernel is built
+        at most once per skeleton content hash (:meth:`_batch_kernel_for`)
+        and reused across calls; ``timings`` (when given) receives the
+        per-pair decision seconds for latency reporting.  Inferred
+        decisions on monotone kernels are recorded at zero cost.
+
+        For ``monotone`` kernels the driver exploits that the predicate
+        is monotone non-decreasing in every bit: pairs are solved in
+        ascending popcount order and a pair that dominates a known-TRUE
+        pair bitwise (or is dominated by a known-FALSE one) is inferred
+        without touching the solver.  On the paper's gadget grids this
+        collapses most of the 2^K × 2^K lattice into a few extremal
+        solver calls.
+        """
+        if not self.supports_batch():
+            return None
+        if skeleton is None:
+            self.skeleton()  # ensure the cached store exists
+            skeleton = self._skeleton_store
+        kernel = self._batch_kernel_for(skeleton)
+        if kernel is None:
+            return None
+
+        import time as _time
+
+        for x, y in pairs:
+            self._require_inputs(x, y)
+        keys = [(tuple(x), tuple(y)) for x, y in pairs]
+        out: Dict[Tuple[Bits, Bits], bool] = {}
+        if not getattr(kernel, "monotone", False):
+            for key in keys:
+                if key in out:
+                    continue
+                t0 = _time.perf_counter()
+                out[key] = bool(kernel.decide(*key))
+                if timings is not None:
+                    timings[key] = _time.perf_counter() - t0
+            return out
+
+        def mask(bits: Bits) -> int:
+            m = 0
+            for i, b in enumerate(bits):
+                if b:
+                    m |= 1 << i
+            return m
+
+        order = sorted(set(keys), key=lambda kv: sum(kv[0]) + sum(kv[1]))
+        true_mins: List[Tuple[int, int]] = []
+        false_maxs: List[Tuple[int, int]] = []
+        for key in order:
+            t0 = _time.perf_counter()
+            xm, ym = mask(key[0]), mask(key[1])
+            dec: Optional[bool] = None
+            for txm, tym in true_mins:
+                if txm & xm == txm and tym & ym == tym:
+                    dec = True  # dominates a TRUE pair
+                    break
+            if dec is None:
+                for fxm, fym in false_maxs:
+                    if xm | fxm == fxm and ym | fym == fym:
+                        dec = False  # dominated by a FALSE pair
+                        break
+            if dec is None:
+                dec = bool(kernel.decide(*key))
+                # ascending-popcount order makes solved TRUEs minimal
+                # and solved FALSEs maximal among solved pairs so far
+                (true_mins if dec else false_maxs).append((xm, ym))
+            out[key] = dec
+            if timings is not None:
+                timings[key] = _time.perf_counter() - t0
+        return out
 
 
 class LowerBoundGraphFamily(DeltaBuildMixin, ABC):
@@ -379,13 +543,22 @@ class SweepReport:
     memo_hits: int
     solved: int
     store_hits: int = 0
+    #: of ``solved``, how many were answered by a batched decision
+    #: kernel (:meth:`DeltaBuildMixin.decide_batch`) instead of the
+    #: per-pair ``predicate(build(x, y))`` path
+    batched: int = 0
+    #: per-pair decision latencies in milliseconds for the pairs this
+    #: sweep actually decided (serial path only; None when the sweep
+    #: solved nothing locally or fanned out to workers)
+    solve_ms: Optional[List[float]] = None
 
     def __str__(self) -> str:
         stored = (f", {self.store_hits} store hits"
                   if self.store_hits else "")
+        via = f", {self.batched} batched" if self.batched else ""
         return (f"{self.pairs} pairs swept "
                 f"({self.unique_pairs} unique, {self.memo_hits} memo hits"
-                f"{stored}, {self.solved} solved)")
+                f"{stored}, {self.solved} solved{via})")
 
 
 def sweep(
@@ -397,6 +570,7 @@ def sweep(
     timeout: Optional[float] = None,
     retries: int = 1,
     warm: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> SweepReport:
     """Decide P(G_{x,y}) for a batch of input pairs through the
     incremental-build path.
@@ -424,11 +598,20 @@ def sweep(
     and then to the serial loop when fan-out is impossible.  All paths
     share the per-shard ``timeout``/``retries`` crash semantics and
     return decisions in request order.
+
+    ``batch`` (default: the :func:`configure_sweep` setting, on)
+    consults the family's batched decision kernel
+    (:meth:`DeltaBuildMixin.decide_batch`) for pairs that survive
+    memo/store dedup — in the serial loop, inside cold fork shards, and
+    inside warm-pool lanes alike — falling back per pair for families
+    (or parameter regimes) without a kernel.
     """
     if jobs is None:
         jobs = _DEFAULT_SWEEP_JOBS
     if warm is None:
         warm = _DEFAULT_SWEEP_WARM
+    if batch is None:
+        batch = _DEFAULT_SWEEP_BATCH
     if store is None:
         store = _configured_store()
     memo_store: Dict[Tuple[Bits, Bits], bool]
@@ -467,22 +650,29 @@ def sweep(
             todo = remaining
 
     decided: Optional[List[bool]] = None
+    timings: Dict[Tuple[Bits, Bits], float] = {}
+    counters = {"batched": 0}
     if jobs > 1 and len(todo) > 1:
         if warm:
             from repro.experiments.warm_pool import pool_decisions
             decided = pool_decisions(family, todo, jobs, timeout=timeout,
-                                     retries=retries, store=store, fkey=fkey)
+                                     retries=retries, store=store, fkey=fkey,
+                                     batch=batch)
         if decided is None:
             from repro.experiments.sweep import parallel_decisions
             decided = parallel_decisions(family, todo, jobs, timeout=timeout,
                                          retries=retries, store=store,
-                                         fkey=fkey)
+                                         fkey=fkey, batch=batch)
     if decided is None:
         from repro.experiments.sweep import _decide_serial
-        decided = _decide_serial(family, todo, store=store, fkey=fkey)
+        decided = _decide_serial(family, todo, store=store, fkey=fkey,
+                                 batch=batch, timings=timings,
+                                 counters=counters)
     for key, decision in zip(todo, decided):
         memo_store[key] = decision
 
+    solve_ms = ([timings[key] * 1000.0 for key in todo if key in timings]
+                or None)
     return SweepReport(
         decisions=[memo_store[key] for key in keys],
         pairs=len(keys),
@@ -490,6 +680,8 @@ def sweep(
         memo_hits=memo_hits,
         solved=len(todo),
         store_hits=store_hits,
+        batched=counters["batched"],
+        solve_ms=solve_ms,
     )
 
 
@@ -538,6 +730,7 @@ def verify_iff(
     jobs: Optional[int] = None,
     memo: bool = True,
     store: Any = None,
+    batch: Optional[bool] = None,
 ) -> IffReport:
     """Check item 4 of Definition 1.1: P(G_{x,y}) ⇔ f(x, y).
 
@@ -551,7 +744,8 @@ def verify_iff(
     mismatching pairs are collected into the
     :class:`FamilyValidationError`, each with a one-line repro command.
     """
-    report = sweep(family, input_pairs, jobs=jobs, memo=memo, store=store)
+    report = sweep(family, input_pairs, jobs=jobs, memo=memo, store=store,
+                   batch=batch)
     true_count = 0
     false_count = 0
     mismatches: List[str] = []

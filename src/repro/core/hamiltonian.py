@@ -175,6 +175,25 @@ class HamiltonianPathFamily(LowerBoundGraphFamily):
         """P: a directed Hamiltonian path exists (iff DISJ = FALSE)."""
         return find_hamiltonian_path(graph) is not None
 
+    def _input_arcs(self) -> Tuple[List[Tuple[Vertex, Vertex]],
+                                   List[Tuple[Vertex, Vertex]]]:
+        """The per-bit input arcs, in bit order p = i·k + j (mirrors
+        :meth:`apply_inputs`)."""
+        k = self.k
+        x_arcs = [(arow(1, i), arow(2, j))
+                  for i in range(k) for j in range(k)]
+        y_arcs = [(brow(1, i), brow(2, j))
+                  for i in range(k) for j in range(k)]
+        return x_arcs, y_arcs
+
+    def make_batch_kernel(self, skeleton: DiGraph):
+        """Successor/predecessor bitmask rows once; each pair ORs its
+        input-arc bits and runs the mask-level search (path existence
+        via the hub reduction to the cycle solver)."""
+        from repro.solvers.batch_kernels import HamiltonianPathBatchKernel
+        x_arcs, y_arcs = self._input_arcs()
+        return HamiltonianPathBatchKernel(skeleton, x_arcs, y_arcs)
+
     # ------------------------------------------------------------------
     def witness_path(self, x: Sequence[int], y: Sequence[int]) -> List[Vertex]:
         """The explicit Hamiltonian path of Claim 2.1 (DISJ = FALSE)."""
@@ -238,6 +257,11 @@ class HamiltonianCycleFamily(HamiltonianPathFamily):
     def predicate(self, graph: DiGraph) -> bool:
         """P: a directed Hamiltonian cycle exists (iff DISJ = FALSE)."""
         return find_hamiltonian_cycle(graph) is not None
+
+    def make_batch_kernel(self, skeleton: DiGraph):
+        from repro.solvers.batch_kernels import HamiltonianCycleBatchKernel
+        x_arcs, y_arcs = self._input_arcs()
+        return HamiltonianCycleBatchKernel(skeleton, x_arcs, y_arcs)
 
     def witness_cycle(self, x: Sequence[int], y: Sequence[int]) -> List[Vertex]:
         path = self.witness_path(x, y)

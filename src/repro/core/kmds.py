@@ -141,6 +141,18 @@ class KMdsFamily(LowerBoundGraphFamily):
         """P: a k-MDS of weight ≤ 2 exists (iff DISJ = FALSE)."""
         return min_dominating_set_weight(graph, k=self.k) <= self.yes_weight
 
+    def make_batch_kernel(self, skeleton: Graph):
+        """Distance-k ball masks once; the deltas are weight-only
+        (``apply_inputs`` re-weights S_i / S̄_i), so each pair swaps 2T
+        weights before the set-cover search."""
+        from repro.solvers.batch_kernels import WeightedDominationBatchKernel
+        T = self.collection.T
+        return WeightedDominationBatchKernel(
+            skeleton,
+            x_vertices=[svert(i) for i in range(T)],
+            y_vertices=[scomp(i) for i in range(T)],
+            alpha=self.alpha, k=self.k, yes_weight=self.yes_weight)
+
     def optimum(self, graph: Graph) -> float:
         return min_dominating_set_weight(graph, k=self.k)
 

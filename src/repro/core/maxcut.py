@@ -147,6 +147,42 @@ class MaxCutFamily(LowerBoundGraphFamily):
         value, __ = max_cut(graph)
         return value >= self.target_weight
 
+    def make_batch_kernel(self, skeleton: Graph):
+        """Collapse the skeleton's cut landscape onto the delta-touched
+        vertices (the 4k rows plus NA/NB) once; a pair is then a numpy
+        row over the 2^(4k+2) delta assignments.  ``delta_edges_fn``
+        must mirror :meth:`apply_inputs` exactly — weight-1 row edges on
+        *zero* bits, N-edge weights from the row sums."""
+        from repro.solvers.batch_kernels import ThresholdCutBatchKernel
+        k = self.k
+        delta_vertices = ([row(s, j) for s in SETS for j in range(k)]
+                          + [NA, NB])
+
+        def delta_edges(x, y):
+            edges = []
+            for i in range(k):
+                for j in range(k):
+                    if not x[i * k + j]:
+                        edges.append((row("A1", i), row("A2", j), 1))
+                    if not y[i * k + j]:
+                        edges.append((row("B1", i), row("B2", j), 1))
+            for i in range(k):
+                edges.append((row("A1", i), NA,
+                              sum(x[i * k + j] for j in range(k))))
+                edges.append((row("A2", i), NA,
+                              sum(x[j * k + i] for j in range(k))))
+                edges.append((row("B1", i), NB,
+                              sum(y[i * k + j] for j in range(k))))
+                edges.append((row("B2", i), NB,
+                              sum(y[j * k + i] for j in range(k))))
+            return edges
+
+        try:
+            return ThresholdCutBatchKernel(skeleton, delta_vertices,
+                                           self.target_weight, delta_edges)
+        except (ImportError, ValueError):
+            return None  # no numpy / out-of-range k: per-pair fallback
+
     # ------------------------------------------------------------------
     def witness_side(self, x: Sequence[int], y: Sequence[int]) -> List[Vertex]:
         """The constructive half of Lemma 2.4: for intersecting inputs, an

@@ -131,6 +131,19 @@ class MdsFamily(LowerBoundGraphFamily):
         DISJ(x, y) = FALSE, so use ``verify_iff(..., negate=True)``)."""
         return has_dominating_set_of_size(graph, self.target_size)
 
+    def make_batch_kernel(self, skeleton: Graph):
+        """Ball masks of the fixed gadget once; each pair patches the
+        few neighbourhoods its input edges touch (bit p = i·k + j adds
+        row edge (s^i_1, s^j_2), matching :meth:`apply_inputs`)."""
+        from repro.solvers.batch_kernels import DominationBatchKernel
+        k = self.k
+        x_edges = [(row("A1", i), row("A2", j))
+                   for i in range(k) for j in range(k)]
+        y_edges = [(row("B1", i), row("B2", j))
+                   for i in range(k) for j in range(k)]
+        return DominationBatchKernel(skeleton, x_edges, y_edges,
+                                     self.target_size)
+
     # ------------------------------------------------------------------
     def witness_dominating_set(self, x: Sequence[int], y: Sequence[int],
                                ) -> List[Vertex]:

@@ -55,12 +55,40 @@ SHARDS_PER_WORKER = 4
 
 
 def _decide_serial(family, pairs: Sequence[Tuple[Bits, Bits]],
-                   store=None, fkey=None) -> List[bool]:
+                   store=None, fkey=None, batch: bool = True,
+                   timings: Optional[Dict[Tuple[Bits, Bits], float]] = None,
+                   counters: Optional[Dict[str, int]] = None) -> List[bool]:
     """Decide ``pairs`` in this process, persisting each decision as it
-    lands (the crash-resume property of the serial path)."""
+    lands (the crash-resume property of the serial path).
+
+    With ``batch`` on (the default), the family's batched decision
+    kernel (:meth:`repro.core.family.DeltaBuildMixin.decide_batch`) is
+    consulted first; pairs it answers skip the per-pair
+    ``predicate(build(x, y))`` path entirely.  This is the single
+    integration point for batching: the serial sweep, the cold fork
+    shards (:func:`_decide_shard`), and every parent-side mop-up
+    fallback all pass through here.
+    """
+    batched: Dict[Tuple[Bits, Bits], bool] = {}
+    if batch and pairs:
+        decide_batch = getattr(family, "decide_batch", None)
+        if decide_batch is not None:
+            try:
+                batched = decide_batch(None, pairs, timings=timings) or {}
+            except NotImplementedError:
+                batched = {}
     decisions: List[bool] = []
     for x, y in pairs:
-        decision = family.predicate(family.build(x, y))
+        key = (tuple(x), tuple(y))
+        if key in batched:
+            decision = batched[key]
+            if counters is not None:
+                counters["batched"] += 1
+        else:
+            t0 = time.perf_counter()
+            decision = family.predicate(family.build(x, y))
+            if timings is not None:
+                timings[key] = time.perf_counter() - t0
         if store is not None:
             store.store(fkey, x, y, decision)
         decisions.append(decision)
@@ -68,11 +96,11 @@ def _decide_serial(family, pairs: Sequence[Tuple[Bits, Bits]],
 
 
 def _decide_shard(payload: Tuple[bytes, List[Tuple[Bits, Bits]],
-                                 Optional[str], Optional[tuple]],
+                                 Optional[str], Optional[tuple], bool],
                   ) -> List[bool]:
     """Worker entry point: decide one shard, streaming decisions into
     the store (when configured) as they complete."""
-    blob, shard, store_root, fkey_tuple = payload
+    blob, shard, store_root, fkey_tuple, batch = payload
     family = pickle.loads(blob)
     store = fkey = None
     if store_root is not None and fkey_tuple is not None:
@@ -81,7 +109,7 @@ def _decide_shard(payload: Tuple[bytes, List[Tuple[Bits, Bits]],
         # and a fleet of forks rescanning per shard is pure overhead
         store = SweepStore(store_root, sweep_stale=False)
         fkey = FamilyKey(*fkey_tuple)
-    return _decide_serial(family, shard, store=store, fkey=fkey)
+    return _decide_serial(family, shard, store=store, fkey=fkey, batch=batch)
 
 
 def parallel_decisions(
@@ -92,6 +120,7 @@ def parallel_decisions(
     retries: int = 1,
     store=None,
     fkey=None,
+    batch: bool = True,
 ) -> Optional[List[bool]]:
     """Decide ``pairs`` over ``jobs`` fork workers, in request order.
 
@@ -113,7 +142,8 @@ def parallel_decisions(
               for i in range(0, len(pairs), shard_size)]
     store_root = getattr(store, "root", None) if store is not None else None
     fkey_tuple = fkey.as_tuple() if fkey is not None else None
-    payloads = [(blob, shard, store_root, fkey_tuple) for shard in shards]
+    payloads = [(blob, shard, store_root, fkey_tuple, batch)
+                for shard in shards]
 
     ctx = _mp_context()
     results: Dict[int, List[bool]] = {}
@@ -168,7 +198,7 @@ def parallel_decisions(
                     for fut in expired:
                         idx, __ = inflight.pop(fut)
                         results[idx] = _decide_serial(family, shards[idx],
-                                                      store, fkey)
+                                                      store, fkey, batch)
                     broken = True
                     continue
                 for fut in done:
@@ -186,7 +216,7 @@ def parallel_decisions(
                         # re-decide here so it raises in the caller's
                         # frame exactly like a serial sweep would
                         results[idx] = _decide_serial(family, shards[idx],
-                                                      store, fkey)
+                                                      store, fkey, batch)
         finally:
             for fut, (idx, __) in inflight.items():
                 if idx not in results and idx not in suspects:
@@ -196,14 +226,15 @@ def parallel_decisions(
             attempts[idx] = attempts.get(idx, 0) + 1
             if attempts[idx] > max(0, retries):
                 results[idx] = _decide_serial(family, shards[idx],
-                                              store, fkey)
+                                              store, fkey, batch)
             else:
                 pending.appendleft(idx)
 
     while pending:  # pool died mid-run and could not be rebuilt
         idx = pending.popleft()
         if idx not in results:
-            results[idx] = _decide_serial(family, shards[idx], store, fkey)
+            results[idx] = _decide_serial(family, shards[idx], store, fkey,
+                                          batch)
 
     decisions: List[bool] = []
     for idx in range(len(shards)):

@@ -176,17 +176,24 @@ def _load_family(digest: str, blob: bytes, fkey_tuple: tuple,
 
 def _warm_shard(digest: str, packed: bytes, store_root: Optional[str],
                 cache_cfg: Tuple[bool, Optional[str]],
-                ) -> Tuple[str, Optional[List[bool]], int]:
+                batch: bool = True,
+                ) -> Tuple[str, Optional[List[bool]], int,
+                           Tuple[int, int, int]]:
     """Worker entry point: decide one packed shard against the warmed
     family.
 
-    Returns ``("ok", decisions, memo_hits)``, or ``("miss", None, 0)``
-    when ``digest`` was never broadcast here (lane respawn, LRU
-    eviction) so the parent can re-broadcast and resubmit.
+    Returns ``("ok", decisions, memo_hits, kernel_stats)``, or
+    ``("miss", None, 0, (0, 0, 0))`` when ``digest`` was never
+    broadcast here (lane respawn, LRU eviction) so the parent can
+    re-broadcast and resubmit.  ``kernel_stats`` is
+    ``(kernel_pairs, state_hits_delta, state_misses_delta)``: because
+    the warmed family persists in this lane across shards, its batch
+    kernel — transient under pickling — is built once per lane and
+    reused for every later shard of the same skeleton.
     """
     entry = _WARM_FAMILIES.get(digest)
     if entry is None:
-        return ("miss", None, 0)
+        return ("miss", None, 0, (0, 0, 0))
     family, fkey_tuple = entry
     _WARM_FAMILIES.move_to_end(digest)
     from repro.solvers import cache as solver_cache
@@ -203,12 +210,36 @@ def _warm_shard(digest: str, packed: bytes, store_root: Optional[str],
     memo = getattr(family, "_sweep_memo", None)
     if memo is None:
         memo = family._sweep_memo = {}
+    pairs = list(_unpack_pairs(packed, int(fkey_tuple[2])))
+    batched: Dict[Tuple[Bits, Bits], bool] = {}
+    events_before = (0, 0)
+    events_after = (0, 0)
+    if batch:
+        decide_batch = getattr(family, "decide_batch", None)
+        if decide_batch is not None:
+            todo = [key for key in pairs if key not in memo]
+            events = getattr(family, "kernel_events", None)
+            if events is not None:
+                ev = events()
+                events_before = (ev["state_hits"], ev["state_misses"])
+            try:
+                batched = decide_batch(None, todo) or {}
+            except NotImplementedError:
+                batched = {}
+            if events is not None:
+                ev = events()
+                events_after = (ev["state_hits"], ev["state_misses"])
     decisions: List[bool] = []
     hits = 0
-    for key in _unpack_pairs(packed, int(fkey_tuple[2])):
+    kernel_pairs = 0
+    for key in pairs:
         if key in memo:
             decision = memo[key]
             hits += 1
+        elif key in batched:
+            decision = batched[key]
+            memo[key] = decision
+            kernel_pairs += 1
         else:
             x, y = key
             decision = family.predicate(family.build(x, y))
@@ -219,7 +250,10 @@ def _warm_shard(digest: str, packed: bytes, store_root: Optional[str],
         if store is not None:
             store.store(fkey, key[0], key[1], decision)
         decisions.append(decision)
-    return ("ok", decisions, hits)
+    kstats = (kernel_pairs,
+              events_after[0] - events_before[0],
+              events_after[1] - events_before[1])
+    return ("ok", decisions, hits, kstats)
 
 
 # ----------------------------------------------------------------------
@@ -238,6 +272,9 @@ class PoolStats:
     warm_hits: int = 0         #: pairs served from a worker's hot memo
     lane_respawns: int = 0     #: lanes rebuilt after death/timeout
     experiments: int = 0       #: experiment records produced by lanes
+    kernel_batched: int = 0    #: pairs answered by batched kernels
+    kernel_state_hits: int = 0    #: kernel reused (skeleton hash match)
+    kernel_state_misses: int = 0  #: kernel (re)built in a lane
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -343,7 +380,8 @@ class WarmPool:
     # -- sweep fan-out -------------------------------------------------
     def decide(self, family, pairs: Sequence[Tuple[Bits, Bits]], jobs: int,
                timeout: Optional[float] = None, retries: int = 1,
-               store=None, fkey=None) -> Optional[List[bool]]:
+               store=None, fkey=None,
+               batch: bool = True) -> Optional[List[bool]]:
         """Decide ``pairs`` across warm lanes, in request order.
 
         Mirrors :func:`repro.experiments.sweep.parallel_decisions`:
@@ -404,7 +442,7 @@ class WarmPool:
                                         shm_spec, skel_bytes)
                     fut = lane.executor.submit(
                         _warm_shard, digest, packed[idx], store_root,
-                        cache_cfg)
+                        cache_cfg, batch)
                 except Exception:
                     # lane unusable at submit (interpreter teardown,
                     # broken executor): rebuild it and let the shard be
@@ -412,7 +450,8 @@ class WarmPool:
                     attempts[idx] = attempts.get(idx, 0) + 1
                     if attempts[idx] > max(1, retries):
                         results[idx] = _decide_serial(family, shards[idx],
-                                                      store, fkey)
+                                                      store, fkey,
+                                                      batch=batch)
                     else:
                         pending.appendleft(idx)
                     try:
@@ -424,7 +463,7 @@ class WarmPool:
                     continue
                 started = True
                 self.stats.pair_payload_bytes += len(pickle.dumps(
-                    (digest, packed[idx], store_root, cache_cfg)))
+                    (digest, packed[idx], store_root, cache_cfg, batch)))
                 deadline = (None if timeout is None
                             else time.monotonic() + timeout)
                 inflight[fut] = (lane, idx, deadline)
@@ -432,7 +471,7 @@ class WarmPool:
                 if pending:  # no usable lanes left: parent mops up
                     idx = pending.popleft()
                     results[idx] = _decide_serial(family, shards[idx],
-                                                  store, fkey)
+                                                  store, fkey, batch=batch)
                 continue
             deadlines = [d for __, __, d in inflight.values()
                          if d is not None]
@@ -450,21 +489,22 @@ class WarmPool:
                 for fut in expired:
                     lane, idx, __ = inflight.pop(fut)
                     results[idx] = _decide_serial(family, shards[idx],
-                                                  store, fkey)
+                                                  store, fkey, batch=batch)
                     self._respawn(lane)
                     free.append(lane)
                 continue
             for fut in done:
                 lane, idx, __ = inflight.pop(fut)
                 try:
-                    status, decisions, hits = fut.result()
+                    status, decisions, hits, kstats = fut.result()
                 except (futures_process.BrokenProcessPool,
                         futures.BrokenExecutor):
                     # only this lane died; its shard is the suspect
                     attempts[idx] = attempts.get(idx, 0) + 1
                     if attempts[idx] > max(0, retries):
                         results[idx] = _decide_serial(family, shards[idx],
-                                                      store, fkey)
+                                                      store, fkey,
+                                                      batch=batch)
                     else:
                         pending.appendleft(idx)
                     self._respawn(lane)
@@ -473,7 +513,7 @@ class WarmPool:
                     # ordinary predicate exception: re-decide here so it
                     # raises in the caller's frame like a serial sweep
                     results[idx] = _decide_serial(family, shards[idx],
-                                                  store, fkey)
+                                                  store, fkey, batch=batch)
                     free.append(lane)
                 else:
                     if status == "miss":
@@ -483,7 +523,8 @@ class WarmPool:
                         attempts[idx] = attempts.get(idx, 0) + 1
                         if attempts[idx] > max(1, retries):
                             results[idx] = _decide_serial(
-                                family, shards[idx], store, fkey)
+                                family, shards[idx], store, fkey,
+                                batch=batch)
                         else:
                             pending.appendleft(idx)
                     else:
@@ -491,6 +532,9 @@ class WarmPool:
                         self.stats.warm_hits += hits
                         self.stats.shards += 1
                         self.stats.pairs_shipped += len(shards[idx])
+                        self.stats.kernel_batched += kstats[0]
+                        self.stats.kernel_state_hits += kstats[1]
+                        self.stats.kernel_state_misses += kstats[2]
                     free.append(lane)
         self._reap_segments()
 
@@ -662,7 +706,8 @@ def _warmable() -> bool:
 
 def pool_decisions(family, pairs: Sequence[Tuple[Bits, Bits]], jobs: int,
                    timeout: Optional[float] = None, retries: int = 1,
-                   store=None, fkey=None) -> Optional[List[bool]]:
+                   store=None, fkey=None,
+                   batch: bool = True) -> Optional[List[bool]]:
     """Warm-pool twin of :func:`repro.experiments.sweep.
     parallel_decisions` — ``None`` means fall back to the cold path."""
     if not _warmable():
@@ -672,7 +717,7 @@ def pool_decisions(family, pairs: Sequence[Tuple[Bits, Bits]], jobs: int,
     except Exception:
         return None
     return pool.decide(family, pairs, jobs, timeout=timeout,
-                       retries=retries, store=store, fkey=fkey)
+                       retries=retries, store=store, fkey=fkey, batch=batch)
 
 
 def run_experiments(ids: Sequence[str], quick: bool = True, jobs: int = 2,

@@ -15,6 +15,7 @@ are profiled, their internal branch-and-bound recursion is not.
 from __future__ import annotations
 
 import functools
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -72,6 +73,17 @@ def profiled(fn: Optional[F] = None, *, name: Optional[str] = None):
     if fn is not None:
         return wrap(fn)
     return wrap
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]) —
+    deterministic, no interpolation, so reported p50/p95 values are
+    always observed samples."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    rank = int(math.ceil(q / 100.0 * len(ordered))) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 @contextmanager
@@ -178,4 +190,7 @@ def format_warm_pool_stats(stats: Dict[str, int]) -> str:
             f"{', shm' if stats.get('shm_segments', 0) else ''}) "
             f"pairs={pairs} ({per_pair:.1f}B/pair) "
             f"warm_hits={stats.get('warm_hits', 0)} "
+            f"kernel={stats.get('kernel_batched', 0)} "
+            f"({stats.get('kernel_state_hits', 0)}h/"
+            f"{stats.get('kernel_state_misses', 0)}m state) "
             f"respawns={stats.get('lane_respawns', 0)}")

@@ -81,10 +81,14 @@ def bench_delta(previous: Dict[str, Any],
 
 
 def format_entry(entry: Dict[str, Any]) -> str:
-    """``162.3ms@c16c231`` — how an entry prints in tables."""
+    """``162.3ms@c16c231`` — how an entry prints in tables (entries
+    recorded with a tail percentile add ``/p95``, e.g.
+    ``162.3ms/171.0@c16c231``)."""
     if not entry:
         return "-"
-    return f"{entry.get('p50_ms', '?')}ms@{entry.get('sha', '?')}"
+    p95 = entry.get("p95_ms")
+    tail = f"/{p95}" if p95 is not None else ""
+    return f"{entry.get('p50_ms', '?')}ms{tail}@{entry.get('sha', '?')}"
 
 
 def bench_rows(history: History,

@@ -90,16 +90,33 @@ def render_fuzz_report(report_dir: Any) -> str:
         "",
     ]
     counts: Dict[str, int] = report.get("check_counts") or {}
+    latency: Dict[str, Dict[str, float]] = report.get("check_latency") or {}
     if counts:
         failed_by_check: Dict[str, int] = {}
         for f in failures:
             name = f.get("check", "?")
             failed_by_check[name] = failed_by_check.get(name, 0) + 1
-        lines.extend(["## Checks", "",
-                      "| check | runs | failures |", "|---|---|---|"])
-        for name in sorted(counts):
-            lines.append(f"| `{name}` | {counts[name]} "
-                         f"| {failed_by_check.get(name, 0)} |")
+        if latency:
+            lines.extend(["## Checks", "",
+                          "| check | runs | failures | p50 ms | p95 ms |",
+                          "|---|---|---|---|---|"])
+            for name in sorted(counts):
+                lat = latency.get(name) or {}
+                p50 = lat.get("p50_ms")
+                p95 = lat.get("p95_ms")
+                lines.append(
+                    f"| `{name}` | {counts[name]} "
+                    f"| {failed_by_check.get(name, 0)} "
+                    f"| {p50 if p50 is not None else '-'} "
+                    f"| {p95 if p95 is not None else '-'} |")
+        else:
+            # pre-latency artifacts (older check-report.json) keep the
+            # narrow table
+            lines.extend(["## Checks", "",
+                          "| check | runs | failures |", "|---|---|---|"])
+            for name in sorted(counts):
+                lines.append(f"| `{name}` | {counts[name]} "
+                             f"| {failed_by_check.get(name, 0)} |")
         lines.append("")
     if failures:
         lines.extend(["## Failures", ""])

@@ -1,0 +1,322 @@
+"""Batched decision kernels: skeleton-derived solver state, delta-only
+per-pair evaluation.
+
+Every lower-bound family decides a threshold predicate on
+``G_{x,y} = skeleton + delta(x, y)`` where the delta is a vanishing
+fraction of the instance (Definition 1.1; the split
+:class:`repro.core.family.DeltaBuildMixin` makes explicit).  The
+per-pair solver path still pays the full instance on every call:
+rebuild the graph, re-derive adjacency masks / ball tables / partition
+enumerations, then search.  The kernels here hoist everything
+input-independent out of the loop **once per skeleton**:
+
+- :class:`HamiltonianCycleBatchKernel` / :class:`HamiltonianPathBatchKernel`
+  precompute the skeleton's successor/predecessor bitmask rows and the
+  index pairs of each input arc; a pair costs two list copies and a few
+  OR's before the mask-level cycle search runs;
+- :class:`DominationBatchKernel` precomputes the closed-neighbourhood
+  ball masks of the fixed gadget; a pair patches the few balls its
+  delta edges touch and runs the set-cover branch-and-bound directly;
+- :class:`WeightedDominationBatchKernel` precomputes the distance-k
+  ball masks (the adjacency is input-independent for the k-MDS family —
+  inputs only re-weight the S_i / S̄_i vertices);
+- :class:`ThresholdCutBatchKernel` enumerates the skeleton's cut
+  weights with a meet-in-the-middle matmul *grouped by the assignment
+  of the delta-touched vertices D*, collapsing the input-independent
+  remainder into one ``g[d] = max fixed cut given D-assignment d``
+  table; a pair reduces to ``max_d(g[d] + delta_cut_d)`` over numpy
+  rows of length ``2^|D|``.
+
+A kernel instance is valid for exactly one skeleton (the family layer
+keys it on ``content_hash`` and rebuilds on mismatch) and must treat
+the skeleton as read-only.  ``monotone = True`` declares that the
+family's predicate is monotone non-decreasing in every input bit —
+1-bits only ever *add* edges (Hamiltonian, MDS) or *lower* weights
+(k-MDS) — which lets the generic ``decide_batch`` driver infer most of
+a grid from a few extremal solves.  Max-cut's predicate is not
+edge-monotone (0-bits add row edges, 1-bits add N-weight), so its
+kernel stays ``monotone = False`` and every pair is evaluated — still
+cheap, because only the delta term varies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.graphs import Vertex
+
+Bits = Tuple[int, ...]
+
+
+class _HamiltonianKernelBase:
+    """Shared succ/pred bitmask plumbing for the Figure 2 families.
+
+    ``x_arcs``/``y_arcs`` list the directed input arc per bit position
+    (``x_arcs[p]`` is added iff ``x[p] = 1``), mirroring
+    ``apply_inputs`` exactly.
+    """
+
+    monotone = True  # more arcs can only create Hamiltonian traversals
+
+    def __init__(self, skeleton, x_arcs: Sequence[Tuple[Vertex, Vertex]],
+                 y_arcs: Sequence[Tuple[Vertex, Vertex]]) -> None:
+        vertices = list(skeleton.vertices())
+        index = {v: i for i, v in enumerate(vertices)}
+        n = len(vertices)
+        succ = [0] * n
+        pred = [0] * n
+        for u, v in skeleton.edges():
+            succ[index[u]] |= 1 << index[v]
+            pred[index[v]] |= 1 << index[u]
+        self._n = n
+        self._succ = succ
+        self._pred = pred
+        self._x_arcs = [(index[u], index[v]) for u, v in x_arcs]
+        self._y_arcs = [(index[u], index[v]) for u, v in y_arcs]
+
+    def _masks(self, x: Bits, y: Bits) -> Tuple[List[int], List[int]]:
+        succ = list(self._succ)
+        pred = list(self._pred)
+        for bits, arcs in ((x, self._x_arcs), (y, self._y_arcs)):
+            for bit, (iu, iv) in zip(bits, arcs):
+                if bit:
+                    succ[iu] |= 1 << iv
+                    pred[iv] |= 1 << iu
+        return succ, pred
+
+
+class HamiltonianCycleBatchKernel(_HamiltonianKernelBase):
+    """Directed Hamiltonian cycle existence over delta-patched masks."""
+
+    def decide(self, x: Bits, y: Bits) -> bool:
+        from repro.solvers.hamilton import _solve_cycle_masks
+        succ, pred = self._masks(x, y)
+        return _solve_cycle_masks(succ, pred, self._n, [0]) is not None
+
+
+class HamiltonianPathBatchKernel(_HamiltonianKernelBase):
+    """Directed Hamiltonian path existence via the hub reduction.
+
+    G has a Hamiltonian path iff G plus a hub vertex with arcs to and
+    from every vertex has a Hamiltonian cycle (the cycle enters the hub
+    after the path's last vertex and leaves it into the first), so the
+    path family reuses the contraction-based cycle search unchanged.
+    """
+
+    def __init__(self, skeleton, x_arcs, y_arcs) -> None:
+        super().__init__(skeleton, x_arcs, y_arcs)
+        hub = self._n
+        full = (1 << self._n) - 1
+        self._succ.append(full)
+        self._pred.append(full)
+        for i in range(self._n):
+            self._succ[i] |= 1 << hub
+            self._pred[i] |= 1 << hub
+        self._n += 1
+
+    def decide(self, x: Bits, y: Bits) -> bool:
+        from repro.solvers.hamilton import _solve_cycle_masks
+        succ, pred = self._masks(x, y)
+        return _solve_cycle_masks(succ, pred, self._n, [0]) is not None
+
+
+class DominationBatchKernel:
+    """Size-bounded domination (Figure 1 MDS) over patched ball masks.
+
+    ``x_edges``/``y_edges`` list the undirected input edge per bit
+    position.  Adding edge {u, v} grows exactly two closed
+    neighbourhoods — ``ball[u] |= v`` and ``ball[v] |= u`` — so a pair
+    costs one list copy plus the set-cover branch-and-bound, with no
+    graph build, hash, or ball recomputation.  Radius is fixed at 1
+    (the only radius whose balls patch locally under edge insertion).
+    """
+
+    monotone = True  # extra edges only enlarge neighbourhoods
+
+    def __init__(self, skeleton, x_edges: Sequence[Tuple[Vertex, Vertex]],
+                 y_edges: Sequence[Tuple[Vertex, Vertex]],
+                 target_size: int) -> None:
+        kern = skeleton.kernel()
+        self._n = kern.n
+        self._balls = list(kern.ball_masks(1))
+        index = kern.index
+        self._x_edges = [(index[u], index[v]) for u, v in x_edges]
+        self._y_edges = [(index[u], index[v]) for u, v in y_edges]
+        # same acceptance threshold as has_dominating_set_of_size:
+        # a cover strictly below size + 0.5 means cardinality <= size
+        self._budget = target_size + 0.5
+
+    def decide(self, x: Bits, y: Bits) -> bool:
+        from repro.solvers.dominating import _SetCoverSolver
+        balls = list(self._balls)
+        for bits, edges in ((x, self._x_edges), (y, self._y_edges)):
+            for bit, (iu, iv) in zip(bits, edges):
+                if bit:
+                    balls[iu] |= 1 << iv
+                    balls[iv] |= 1 << iu
+        solver = _SetCoverSolver(
+            self._n, [(balls[i], 1.0, i) for i in range(self._n)])
+        __, choice = solver.solve(self._budget)
+        return choice is not None
+
+
+class WeightedDominationBatchKernel:
+    """Weight-bounded distance-k domination (Figure 5 k-MDS).
+
+    The k-MDS deltas are weight-only (``apply_inputs`` re-weights the
+    S_i / S̄_i vertices), so the expensive part — the distance-k ball
+    masks of every vertex — is computed once from the skeleton and a
+    pair only swaps a handful of weights before the set-cover search.
+    """
+
+    monotone = True  # 1-bits lower weights, so the optimum only drops
+
+    def __init__(self, skeleton, x_vertices: Sequence[Vertex],
+                 y_vertices: Sequence[Vertex], alpha: int, k: int,
+                 yes_weight: int) -> None:
+        kern = skeleton.kernel()
+        self._n = kern.n
+        self._balls = list(kern.ball_masks(k))
+        self._weights = [float(skeleton.vertex_weight(v))
+                         for v in kern.vertices]
+        index = kern.index
+        self._x_idx = [index[v] for v in x_vertices]
+        self._y_idx = [index[v] for v in y_vertices]
+        self._alpha = float(alpha)
+        # integer weights: min weight <= yes_weight iff a cover strictly
+        # below yes_weight + 0.5 exists
+        self._budget = yes_weight + 0.5
+
+    def decide(self, x: Bits, y: Bits) -> bool:
+        from repro.solvers.dominating import _SetCoverSolver
+        weights = list(self._weights)
+        for bits, idxs in ((x, self._x_idx), (y, self._y_idx)):
+            for bit, i in zip(bits, idxs):
+                weights[i] = 1.0 if bit else self._alpha
+        solver = _SetCoverSolver(
+            self._n,
+            [(self._balls[i], weights[i], i) for i in range(self._n)])
+        __, choice = solver.solve(self._budget)
+        return choice is not None
+
+
+class ThresholdCutBatchKernel:
+    """Exact ``max-cut >= target`` decisions with the skeleton's cut
+    landscape pre-collapsed onto the delta-touched vertices.
+
+    Let D be the vertices any input-dependent edge can touch
+    (``delta_vertices``; the Figure 3 rows plus NA/NB).  For a cut
+    side S, ``cut(S) = fixed(S) + delta(S ∩ D)``, so
+
+        ``max_S cut(S) = max_d [ g(d) + delta_cut(d) ]``,
+        ``g(d) = max { fixed(S) : S ∩ D = d }``.
+
+    ``g`` is input-independent and is built once by a meet-in-the-middle
+    enumeration (D-assignments are the low block, the free remainder
+    the high block, one non-D vertex pinned to side 0 by complement
+    symmetry); each pair then evaluates its delta edges — weights from
+    ``delta_edges_fn(x, y)``, all endpoints required to lie in D — as a
+    numpy row over the ``2^|D|`` D-assignments.  Exact for integral
+    edge weights (everything stays far below 2^53 in float64).
+
+    Raises :class:`ValueError` when the instance is out of range
+    (non-integral weights, blocks beyond ``2^20``) and ``ImportError``
+    without numpy — callers degrade to the per-pair path.
+    """
+
+    monotone = False  # 0-bits add row edges, 1-bits add N-weight
+
+    _MAX_BLOCK_BITS = 20
+
+    def __init__(self, skeleton, delta_vertices: Sequence[Vertex],
+                 target: float,
+                 delta_edges_fn: Callable[[Bits, Bits],
+                                          Iterable[Tuple[Vertex, Vertex,
+                                                         float]]]) -> None:
+        import numpy as np
+
+        order = list(skeleton.vertices())
+        dset = set(delta_vertices)
+        if len(dset) != len(delta_vertices):
+            raise ValueError("duplicate delta vertices")
+        free = [v for v in order if v not in dset]
+        if not free:
+            raise ValueError("need at least one non-delta vertex to pin")
+        low = list(delta_vertices)   # deterministic: caller's bit order
+        high = free[:-1]
+        pinned = free[-1]            # fixed to side 0 (WLOG by symmetry)
+        b, h = len(low), len(high)
+        if b > self._MAX_BLOCK_BITS or h > self._MAX_BLOCK_BITS:
+            raise ValueError(f"blocks 2^{b} x 2^{h} too large to enumerate")
+        pos: Dict[Vertex, int] = {}
+        for i, v in enumerate(low):
+            pos[v] = i
+        for j, v in enumerate(high):
+            pos[v] = b + j
+
+        low_lin = np.zeros(b, dtype=np.float64)    # w towards pinned
+        high_lin = np.zeros(h, dtype=np.float64)
+        low_pairs: List[Tuple[int, int, float]] = []
+        high_pairs: List[Tuple[int, int, float]] = []
+        W = np.zeros((h, b), dtype=np.float64)     # cross weights
+        for (u, v), w in skeleton.edge_weights().items():
+            if not float(w).is_integer():
+                raise ValueError(f"non-integral weight {w!r}")
+            w = float(w)
+            if u == pinned or v == pinned:
+                other = v if u == pinned else u
+                p = pos[other]
+                if p < b:
+                    low_lin[p] += w
+                else:
+                    high_lin[p - b] += w
+                continue
+            pu, pv = pos[u], pos[v]
+            if pu > pv:
+                pu, pv = pv, pu
+            if pv < b:
+                low_pairs.append((pu, pv, w))
+            elif pu >= b:
+                high_pairs.append((pu - b, pv - b, w))
+            else:
+                W[pv - b, pu] += w
+
+        def bit_rows(nbits: int) -> "np.ndarray":
+            masks = np.arange(1 << nbits, dtype=np.int64)
+            return np.stack([(masks >> i) & 1 for i in range(nbits)]
+                            ) if nbits else np.zeros((0, 1), dtype=np.int64)
+
+        S_low = bit_rows(b).astype(np.float64)     # (b, 2^b)
+        S_high = bit_rows(h).astype(np.float64)    # (h, 2^h)
+        low_cut = np.zeros(1 << b, dtype=np.float64)
+        for i, j, w in low_pairs:
+            low_cut += w * np.abs(S_low[i] - S_low[j])
+        low_cut += low_lin @ S_low                 # pinned is side 0
+        high_cut = np.zeros(1 << h, dtype=np.float64)
+        for i, j, w in high_pairs:
+            high_cut += w * np.abs(S_high[i] - S_high[j])
+        high_cut += high_lin @ S_high
+        # cross(t, m) = sum_ij W[j,i] (hi_j + lo_i - 2 hi_j lo_i)
+        row_w = W.sum(axis=1)                      # per high bit
+        col_w = W.sum(axis=0)                      # per low bit
+        hi_vec = high_cut + row_w @ S_high         # (2^h,)
+        lo_vec = low_cut + col_w @ S_low           # (2^b,)
+        Q = (W.T @ S_high).T @ S_low if h else np.zeros((1, 1 << b))
+        # g[m] = lo_vec[m] + max_t (hi_vec[t] - 2 Q[t, m])
+        self._g = lo_vec + np.max(hi_vec[:, None] - 2.0 * Q, axis=0)
+        self._low_bits = S_low                     # (b, 2^b) float rows
+        self._dpos = {v: i for i, v in enumerate(low)}
+        self._target = float(target)
+        self._delta_edges_fn = delta_edges_fn
+        self._np = np
+
+    def decide(self, x: Bits, y: Bits) -> bool:
+        np = self._np
+        acc = np.zeros(self._g.shape[0], dtype=np.float64)
+        rows = self._low_bits
+        dpos = self._dpos
+        for u, v, w in self._delta_edges_fn(x, y):
+            if w:
+                acc += float(w) * np.abs(rows[dpos[u]] - rows[dpos[v]])
+        # integral arithmetic in float64: >= target iff > target - 0.5
+        return bool(np.max(self._g + acc) > self._target - 0.5)

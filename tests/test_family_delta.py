@@ -92,7 +92,9 @@ def test_sweep_memoizes_per_instance():
 
     fam = Counting(2)
     pairs = _pairs(fam, 4)
-    first = sweep(fam, pairs + pairs[:2])   # in-batch duplicates too
+    # batch=False: this test counts per-pair predicate() calls, which
+    # the batched kernel legitimately bypasses
+    first = sweep(fam, pairs + pairs[:2], batch=False)
     assert len(calls) == 4
     assert first.pairs == 6
     assert first.unique_pairs == 4
